@@ -1,0 +1,196 @@
+// Module-level benchmarks: one per table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each bench
+// regenerates the corresponding quantity on a reduced-scale trace; the
+// cmd/mcbound-characterize and cmd/mcbound-eval binaries run the same
+// drivers at full scale.
+//
+// The per-package micro-benchmarks (encode, ml/knn, ml/rf, roofline,
+// workload) cover the component costs; these cover the end-to-end
+// experiment paths.
+package mcbound_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"mcbound/internal/experiments"
+	"mcbound/internal/online"
+	"mcbound/internal/workload"
+)
+
+// benchScale keeps every experiment bench in the sub-minute range on a
+// single core.
+const benchScale = 0.005
+
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+// benchEnv generates the shared evaluation trace once per bench run.
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = experiments.NewEnv(workload.EvalConfig(benchScale), 7)
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+// BenchmarkTable1RidgePoint covers Table I: deriving the machine model
+// and ridge point from the Fugaku specification.
+func BenchmarkTable1RidgePoint(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := env.Characterizer.RidgePoint(); r < 3 {
+			b.Fatal("bad ridge")
+		}
+	}
+}
+
+// BenchmarkFig2To5Table2Characterization covers Figs. 2–5 and Table II:
+// the full §IV characterization sweep over the trace.
+func BenchmarkFig2To5Table2Characterization(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.Characterize(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Labeled == 0 {
+			b.Fatal("nothing labeled")
+		}
+	}
+}
+
+// benchOnlineCell runs one online-evaluation configuration end to end
+// (trace fetch → characterize → encode → train → infer → score).
+func benchOnlineCell(b *testing.B, model experiments.ModelName, p online.Params) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunOnline(env, model, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TestJobs == 0 {
+			b.Fatal("no test jobs")
+		}
+		b.ReportMetric(res.F1, "F1")
+	}
+}
+
+// BenchmarkFig6KNNBestCell / BenchmarkFig6RFBestCell cover Fig. 6: one
+// α×β grid cell each at the per-model best settings (the full grid is
+// cmd/mcbound-eval -exp alpha-beta).
+func BenchmarkFig6KNNBestCell(b *testing.B) {
+	benchOnlineCell(b, experiments.KNN, online.Params{Alpha: 30, Beta: 1, Seed: 7})
+}
+
+func BenchmarkFig6RFBestCell(b *testing.B) {
+	benchOnlineCell(b, experiments.RF, online.Params{Alpha: 15, Beta: 1, Seed: 7})
+}
+
+// BenchmarkFig6LargeBeta covers the β-axis of Fig. 6 (infrequent
+// retraining).
+func BenchmarkFig6LargeBeta(b *testing.B) {
+	benchOnlineCell(b, experiments.RF, online.Params{Alpha: 15, Beta: 10, Seed: 7})
+}
+
+// BenchmarkFig7TrainingTime covers Fig. 7: it isolates the per-trigger
+// training cost at growing α (the cell's AvgTrainTime is the figure's
+// y-value; the bench wall time tracks it).
+func BenchmarkFig7TrainingTime(b *testing.B) {
+	for _, alpha := range []int{15, 30, 60} {
+		b.Run("alpha="+itoa(alpha), func(b *testing.B) {
+			benchOnlineCell(b, experiments.RF, online.Params{Alpha: alpha, Beta: 5, Seed: 7})
+		})
+	}
+}
+
+// BenchmarkFig8InferenceTime covers Fig. 8: per-job inference cost
+// (encoding included) for KNN at growing α.
+func BenchmarkFig8InferenceTime(b *testing.B) {
+	for _, alpha := range []int{15, 30, 60} {
+		b.Run("alpha="+itoa(alpha), func(b *testing.B) {
+			benchOnlineCell(b, experiments.KNN, online.Params{Alpha: alpha, Beta: 5, Seed: 7})
+		})
+	}
+}
+
+// BenchmarkBaselineComparison covers §V.C.a: the (job name, #cores)
+// lookup baseline under the online algorithm.
+func BenchmarkBaselineComparison(b *testing.B) {
+	benchOnlineCell(b, experiments.Baseline, online.Params{Alpha: 30, Beta: 1, Seed: 7})
+}
+
+// BenchmarkAlphaPlus covers §V.C.b: the growing α⁺ window.
+func BenchmarkAlphaPlusKNN(b *testing.B) {
+	benchOnlineCell(b, experiments.KNN, online.Params{Alpha: 30, Beta: 1, AlphaPlus: true, Seed: 7})
+}
+
+// BenchmarkFig9Fig10Theta covers Figs. 9–10: θ-subsampled retraining,
+// random vs latest.
+func BenchmarkFig9Fig10Theta(b *testing.B) {
+	for _, mode := range []online.ThetaMode{online.ThetaRandom, online.ThetaLatest} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchOnlineCell(b, experiments.RF, online.Params{
+				Alpha: 15, Beta: 1, Theta: 200, ThetaMode: mode, Seed: 520,
+			})
+		})
+	}
+}
+
+// BenchmarkTraceGeneration covers the substrate itself: synthesizing the
+// evaluation trace (the F-DATA stand-in).
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := workload.EvalConfig(benchScale)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		jobs, err := workload.NewGenerator(cfg, uint64(i)).Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(jobs) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkImpactReports exercises the report writers of the §IV
+// analysis (the cheap rendering layer on top of the characterization).
+func BenchmarkImpactReports(b *testing.B) {
+	env := benchEnv(b)
+	sum, err := experiments.Characterize(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum.WriteFig2(io.Discard)
+		sum.WriteFig3(io.Discard, env.Characterizer.RidgePoint())
+		sum.WriteFig4(io.Discard)
+		sum.WriteFig5(io.Discard)
+		sum.WriteTable2(io.Discard)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,77 @@
+// Command mcbound-characterize reproduces the §IV characterization and
+// analysis of the Fugaku trace (artifact A2): Figures 2–5 and Table II,
+// over the synthetic full-period trace (December 2023 – March 2024).
+//
+// Usage:
+//
+//	mcbound-characterize                  # everything, full scale (~2.2M jobs)
+//	mcbound-characterize -table 2         # Table II only
+//	mcbound-characterize -fig 3 -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcbound/internal/experiments"
+	"mcbound/internal/workload"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "render a single figure (2-5); 0 = all")
+		table = flag.Int("table", 0, "render a single table (2); 0 = all")
+		scale = flag.Float64("scale", 1, "trace scale (1 = the paper's 2.2M jobs)")
+		seed  = flag.Uint64("seed", 42, "master RNG seed")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *table, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbound-characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, table int, scale float64, seed uint64) error {
+	cfg := workload.DefaultConfig()
+	if scale != 1 {
+		cfg.JobsPerDay = int(float64(cfg.JobsPerDay) * scale)
+		if cfg.JobsPerDay < 1 {
+			cfg.JobsPerDay = 1
+		}
+	}
+	fmt.Printf("generating characterization trace (scale=%g, seed=%d)...\n", scale, seed)
+	env, err := experiments.NewEnv(cfg, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d jobs, %s .. %s\n", len(env.Jobs),
+		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))
+
+	sum, err := experiments.Characterize(env)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("characterized: %d labeled, %d skipped (%.4f%% skip rate)\n\n",
+		sum.Labeled, sum.Skipped, 100*float64(sum.Skipped)/float64(sum.Total))
+
+	all := fig == 0 && table == 0
+	ridge := env.Characterizer.RidgePoint()
+	if all || fig == 2 {
+		sum.WriteFig2(os.Stdout)
+	}
+	if all || fig == 3 {
+		sum.WriteFig3(os.Stdout, ridge)
+	}
+	if all || fig == 4 {
+		sum.WriteFig4(os.Stdout)
+	}
+	if all || fig == 5 {
+		sum.WriteFig5(os.Stdout)
+	}
+	if all || table == 2 {
+		sum.WriteTable2(os.Stdout)
+	}
+	return nil
+}

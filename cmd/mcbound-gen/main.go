@@ -1,0 +1,61 @@
+// Command mcbound-gen generates a synthetic Fugaku-like job trace and
+// writes it as JSONL — the stand-in for extracting F-DATA from the
+// production logs. The output feeds mcbound-server and any offline
+// analysis.
+//
+// Usage:
+//
+//	mcbound-gen -scale 0.01 -out jobs.jsonl
+//	mcbound-gen -eval -scale 0.02 -out eval.jsonl   # Dec–Feb evaluation period
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcbound/internal/store"
+	"mcbound/internal/workload"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "jobs.jsonl", "output JSONL path ('-' for stdout)")
+		scale    = flag.Float64("scale", 0.01, "trace scale (1 = the paper's 2.2M jobs)")
+		seed     = flag.Uint64("seed", 7, "master RNG seed")
+		evalOnly = flag.Bool("eval", false, "generate the Dec–Feb evaluation period instead of the full Dec–Mar trace")
+	)
+	flag.Parse()
+
+	if err := run(*out, *scale, *seed, *evalOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbound-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale float64, seed uint64, evalOnly bool) error {
+	var cfg workload.Config
+	if evalOnly {
+		cfg = workload.EvalConfig(scale)
+	} else {
+		cfg = workload.DefaultConfig()
+		cfg.JobsPerDay = int(float64(cfg.JobsPerDay) * scale)
+		if cfg.JobsPerDay < 1 {
+			cfg.JobsPerDay = 1
+		}
+	}
+	jobs, err := workload.NewGenerator(cfg, seed).Generate()
+	if err != nil {
+		return err
+	}
+	st := store.New()
+	if err := st.Insert(jobs...); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d jobs (%s .. %s)\n", len(jobs),
+		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))
+	if out == "-" {
+		return st.WriteJSONL(os.Stdout)
+	}
+	return st.SaveFile(out)
+}

@@ -1,0 +1,64 @@
+// Command mcbound-infer is the Inference Workflow script of Figure 1: it
+// asks a running mcbound-server to classify either one job by id or all
+// jobs submitted in a time range, and prints the memory/compute-bound
+// predictions.
+//
+// Usage:
+//
+//	mcbound-infer -server http://localhost:8080 -job fj000012345
+//	mcbound-infer -start 2024-02-01T00:00:00Z -end 2024-02-02T00:00:00Z
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "http://localhost:8080", "MCBound backend base URL")
+		jobID   = flag.String("job", "", "classify a single job by id")
+		start   = flag.String("start", "", "classify jobs submitted from this instant (RFC 3339)")
+		end     = flag.String("end", "", "classify jobs submitted before this instant (RFC 3339)")
+		timeout = flag.Duration("timeout", 10*time.Minute, "request timeout")
+	)
+	flag.Parse()
+
+	if err := run(*server, *jobID, *start, *end, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbound-infer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, jobID, start, end string, timeout time.Duration) error {
+	var target string
+	switch {
+	case jobID != "":
+		target = server + "/v1/classify/" + url.PathEscape(jobID)
+	case start != "" && end != "":
+		target = fmt.Sprintf("%s/v1/classify?start=%s&end=%s",
+			server, url.QueryEscape(start), url.QueryEscape(end))
+	default:
+		return fmt.Errorf("either -job or both -start and -end are required")
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(target)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s: %s", resp.Status, payload)
+	}
+	fmt.Printf("%s\n", payload)
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command mcbound-server deploys the MCBound framework as an HTTP
+// backend (artifact A1, the flask equivalent). It loads a jobs data
+// storage from a JSONL trace file (or generates a synthetic one), runs
+// an initial Training Workflow, and serves the inference API; a
+// background ticker re-triggers the Training Workflow every β days of
+// trace time (the cronjob of §III-E).
+//
+// Usage:
+//
+//	mcbound-server -trace jobs.jsonl -model rf -alpha 15 -port 8080
+//	mcbound-server -generate -scale 0.01            # demo without a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mcbound/internal/core"
+	"mcbound/internal/experiments"
+	"mcbound/internal/fetch"
+	"mcbound/internal/store"
+	"mcbound/internal/workload"
+
+	"mcbound/internal/httpapi"
+)
+
+func main() {
+	var (
+		trace    = flag.String("trace", "", "JSONL trace file backing the jobs data storage")
+		generate = flag.Bool("generate", false, "generate a synthetic trace instead of loading one")
+		scale    = flag.Float64("scale", 0.01, "synthetic trace scale (with -generate)")
+		seed     = flag.Uint64("seed", 7, "synthetic trace seed (with -generate)")
+		model    = flag.String("model", "rf", "classification model: rf or knn")
+		alpha    = flag.Int("alpha", 15, "training window in days")
+		beta     = flag.Int("beta", 1, "retraining period in days")
+		modelDir = flag.String("model-dir", "", "directory for versioned model files (empty = no persistence)")
+		port     = flag.Int("port", 8080, "listen port")
+		trainAt  = flag.String("train-at", "", "reference instant (RFC 3339) for the initial training window; default = newest job completion")
+	)
+	flag.Parse()
+
+	if err := run(*trace, *generate, *scale, *seed, *model, *alpha, *beta, *modelDir, *port, *trainAt); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbound-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trace string, generate bool, scale float64, seed uint64, model string, alpha, beta int, modelDir string, port int, trainAt string) error {
+	var st *store.Store
+	switch {
+	case generate:
+		log.Printf("generating synthetic trace (scale=%g, seed=%d)...", scale, seed)
+		env, err := experiments.NewEnv(workload.EvalConfig(scale), seed)
+		if err != nil {
+			return err
+		}
+		st = env.Store
+	case trace != "":
+		log.Printf("loading trace %s...", trace)
+		var err error
+		st, err = store.LoadFile(trace)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -trace or -generate is required")
+	}
+	log.Printf("jobs data storage ready: %d jobs", st.Len())
+
+	cfg := core.DefaultConfig()
+	cfg.Model = core.ModelKind(model)
+	cfg.Alpha, cfg.Beta = alpha, beta
+	cfg.ModelDir = modelDir
+	fw, err := core.New(cfg, fetch.StoreBackend{Store: st})
+	if err != nil {
+		return err
+	}
+
+	// Initial Training Workflow (the deploy script of §III-E).
+	now := time.Now().UTC()
+	if trainAt != "" {
+		if now, err = time.Parse(time.RFC3339, trainAt); err != nil {
+			return fmt.Errorf("bad -train-at: %w", err)
+		}
+	} else if newest := newestEnd(st); !newest.IsZero() {
+		now = newest
+	}
+	rep, err := fw.Train(now)
+	if err != nil {
+		return err
+	}
+	log.Printf("initial model trained: window [%s, %s), %d labeled jobs, %.3fs, version %d",
+		rep.WindowStart.Format("2006-01-02"), rep.WindowEnd.Format("2006-01-02"),
+		rep.LabeledJobs, rep.TrainDuration.Seconds(), rep.ModelVersion)
+
+	srv := httpapi.New(fw, st, log.Default())
+	addr := fmt.Sprintf(":%d", port)
+	log.Printf("serving on %s (model=%s α=%d β=%d)", addr, model, alpha, beta)
+	return http.ListenAndServe(addr, srv)
+}
+
+func newestEnd(st *store.Store) time.Time {
+	var newest time.Time
+	for _, j := range st.All() {
+		if j.EndTime.After(newest) {
+			newest = j.EndTime
+		}
+	}
+	return newest
+}

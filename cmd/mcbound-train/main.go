@@ -1,0 +1,56 @@
+// Command mcbound-train is the Training Workflow script of Figure 1: it
+// asks a running mcbound-server to retrain its Classification Model on
+// the last α days of job data. In the paper this script is re-executed
+// by a cronjob every β days.
+//
+// Usage:
+//
+//	mcbound-train -server http://localhost:8080 -now 2024-02-01T00:00:00Z
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "http://localhost:8080", "MCBound backend base URL")
+		now     = flag.String("now", "", "training reference instant (RFC 3339); empty = server wall clock")
+		timeout = flag.Duration("timeout", 10*time.Minute, "request timeout")
+	)
+	flag.Parse()
+
+	if err := run(*server, *now, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbound-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, now string, timeout time.Duration) error {
+	body, err := json.Marshal(map[string]string{"now": now})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post(server+"/v1/train", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s: %s", resp.Status, payload)
+	}
+	fmt.Printf("%s\n", payload)
+	return nil
+}

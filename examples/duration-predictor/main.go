@@ -1,0 +1,99 @@
+// Duration-predictor demonstrates the paper's future-work claim (§VI):
+// "The KNN finds the most similar jobs regardless of the target feature,
+// hence we can easily adapt the framework for the prediction of multiple
+// features." It reuses the MCBound Feature Encoder unchanged and swaps
+// the classifier for a KNN regressor predicting job duration (in log
+// space) at submission time, then scores the predictions against the
+// real durations of a test week.
+//
+//	go run ./examples/duration-predictor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"mcbound/internal/encode"
+	"mcbound/internal/fetch"
+	"mcbound/internal/ml/knn"
+	"mcbound/internal/store"
+	"mcbound/internal/workload"
+)
+
+func main() {
+	cfg := workload.EvalConfig(0.03)
+	jobs, err := workload.NewGenerator(cfg, 7).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.New()
+	if err := st.Insert(jobs...); err != nil {
+		log.Fatal(err)
+	}
+	fetcher, err := fetch.New(fetch.StoreBackend{Store: st})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Training window: the 30 days before February (the KNN best α).
+	trainAt := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	window, err := fetcher.FetchExecuted(trainAt.AddDate(0, 0, -30), trainAt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encoder := encode.NewEncoder(nil, nil)
+	targets := make([]float64, len(window))
+	for i, j := range window {
+		targets[i] = math.Log(j.Duration().Seconds())
+	}
+	reg := knn.NewRegressor(knn.DefaultConfig())
+	if err := reg.Fit(encoder.Encode(window), targets); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted KNN duration regressor on %d executed jobs\n", len(window))
+
+	// Predict the first week of February at submission time.
+	week, err := fetcher.FetchSubmitted(trainAt, trainAt.AddDate(0, 0, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := reg.PredictValues(encoder.Encode(week))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score: absolute log-error quantiles and the fraction within 2x.
+	var absErr []float64
+	within2x := 0
+	for i, j := range week {
+		e := math.Abs(preds[i] - math.Log(j.Duration().Seconds()))
+		absErr = append(absErr, e)
+		if e <= math.Log(2) {
+			within2x++
+		}
+	}
+	sort.Float64s(absErr)
+	q := func(p float64) float64 {
+		return math.Exp(absErr[int(p*float64(len(absErr)-1))])
+	}
+	fmt.Printf("predicted %d submitted jobs before execution\n\n", len(week))
+	fmt.Printf("duration prediction error (multiplicative factor):\n")
+	fmt.Printf("  median %.2fx   p75 %.2fx   p90 %.2fx\n", q(0.5), q(0.75), q(0.9))
+	fmt.Printf("  within 2x of the true duration: %.1f%%\n",
+		100*float64(within2x)/float64(len(week)))
+	for i, j := range week[:min(5, len(week))] {
+		fmt.Printf("  %s: predicted %s, actual %s\n", j.ID,
+			time.Duration(math.Exp(preds[i])*float64(time.Second)).Round(time.Second),
+			j.Duration().Round(time.Second))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

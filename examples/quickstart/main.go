@@ -1,0 +1,89 @@
+// Quickstart walks the whole MCBound pipeline end to end in-process:
+// generate a small synthetic Fugaku trace, stand up the framework over a
+// jobs data storage, run the Training Workflow on the last α days, then
+// classify a day of newly submitted jobs before their execution and
+// compare against the Roofline ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mcbound/internal/core"
+	"mcbound/internal/fetch"
+	"mcbound/internal/metrics"
+	"mcbound/internal/store"
+	"mcbound/internal/workload"
+)
+
+func main() {
+	// 1. A small synthetic trace (≈3% of Fugaku's volume, Dec–Feb).
+	cfg := workload.EvalConfig(0.03)
+	jobs, err := workload.NewGenerator(cfg, 7).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.New()
+	if err := st.Insert(jobs...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d jobs between %s and %s\n", len(jobs),
+		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))
+
+	// 2. Deploy the framework: Random Forest, α=15, β=1 (the paper's
+	//    recommended production setting).
+	fw, err := core.New(core.DefaultConfig(), fetch.StoreBackend{Store: st})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Training Workflow as of February 1st: fetch the last α days of
+	//    executed jobs, characterize them with the Roofline model, and
+	//    train the Classification Model.
+	trainAt := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	rep, err := fw.Train(trainAt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on [%s, %s): %d labeled jobs in %v\n",
+		rep.WindowStart.Format("2006-01-02"), rep.WindowEnd.Format("2006-01-02"),
+		rep.LabeledJobs, rep.TrainDuration.Round(time.Millisecond))
+
+	// 4. Inference Workflow: classify everything submitted in the first
+	//    week of February — before execution, from submission features
+	//    only. (In production this trigger fires once every β days.)
+	preds, err := fw.ClassifySubmitted(trainAt, trainAt.AddDate(0, 0, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classified %d newly submitted jobs\n", len(preds))
+	for _, p := range preds[:min(5, len(preds))] {
+		fmt.Printf("  %s -> %s\n", p.JobID, p.Class)
+	}
+
+	// 5. Once those jobs complete, the Roofline characterization gives
+	//    ground truth; score the predictions.
+	conf := metrics.NewConfusion()
+	for _, p := range preds {
+		j, err := st.Get(p.JobID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pt, err := fw.Characterizer().Characterize(j)
+		if err != nil {
+			continue
+		}
+		conf.Add(pt.Label, p.Label)
+	}
+	fmt.Printf("\nprediction quality on the week (F1-macro %.3f):\n%s", conf.F1Macro(), conf.Report())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

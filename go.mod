@@ -1,0 +1,3 @@
+module mcbound
+
+go 1.22

@@ -1,0 +1,298 @@
+// Package core wires the four MCBound components — Data Fetcher, Feature
+// Encoder, Job Characterizer and Classification Model — into the two
+// CI/CD workflows of the paper's Figure 1: the Training Workflow
+// (periodic retraining on recent data) and the Inference Workflow
+// (classification of newly submitted jobs before execution).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mcbound/internal/encode"
+	"mcbound/internal/fetch"
+	"mcbound/internal/job"
+	"mcbound/internal/ml"
+	"mcbound/internal/ml/knn"
+	"mcbound/internal/ml/rf"
+	"mcbound/internal/persist"
+	"mcbound/internal/roofline"
+)
+
+// ModelKind selects the Classification Model algorithm.
+type ModelKind string
+
+// Supported algorithms.
+const (
+	ModelKNN ModelKind = "knn"
+	ModelRF  ModelKind = "rf"
+)
+
+// Config configures a Framework deployment for a target system.
+type Config struct {
+	// Machine provides the per-node peaks the Job Characterizer needs;
+	// defaults to Fugaku.
+	Machine job.MachineSpec
+
+	// Features is the encoder's feature subset; nil selects the paper's
+	// augmented set.
+	Features []encode.Feature
+
+	// Model picks the algorithm; KNN/RF hold its hyper-parameters.
+	Model ModelKind
+	KNN   knn.Config
+	RF    rf.Config
+
+	// Alpha is the training window (days of recent executed jobs);
+	// Beta the retraining period in days.
+	Alpha, Beta int
+
+	// ModelDir, when non-empty, enables versioned model persistence.
+	ModelDir string
+}
+
+// DefaultConfig returns the Fugaku deployment settings the paper
+// concludes with: RF with α=15, β=1.
+func DefaultConfig() Config {
+	return Config{
+		Machine: job.FugakuSpec(),
+		Model:   ModelRF,
+		KNN:     knn.DefaultConfig(),
+		RF:      rf.DefaultConfig(),
+		Alpha:   15,
+		Beta:    1,
+	}
+}
+
+// Framework is a deployed MCBound instance.
+type Framework struct {
+	cfg           Config
+	fetcher       *fetch.Fetcher
+	encoder       *encode.Encoder
+	characterizer *roofline.Characterizer
+	registry      *persist.Registry
+
+	mu      sync.RWMutex
+	model   ml.Classifier
+	trained bool
+	version int
+	lastRun time.Time
+}
+
+// New builds a Framework over a jobs-data-storage backend.
+func New(cfg Config, backend fetch.Backend) (*Framework, error) {
+	if cfg.Machine.PeakGFlops == 0 {
+		cfg.Machine = job.FugakuSpec()
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 15
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 1
+	}
+	f, err := fetch.New(backend)
+	if err != nil {
+		return nil, err
+	}
+	model, err := buildModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fw := &Framework{
+		cfg:           cfg,
+		fetcher:       f,
+		encoder:       encode.NewEncoder(cfg.Features, nil),
+		characterizer: roofline.NewCharacterizer(roofline.ModelFor(cfg.Machine)),
+		model:         model,
+	}
+	if cfg.ModelDir != "" {
+		reg, err := persist.NewRegistry(cfg.ModelDir)
+		if err != nil {
+			return nil, err
+		}
+		fw.registry = reg
+	}
+	return fw, nil
+}
+
+func buildModel(cfg Config) (ml.Classifier, error) {
+	switch cfg.Model {
+	case ModelKNN:
+		return knn.New(cfg.KNN), nil
+	case ModelRF, "":
+		return rf.New(cfg.RF), nil
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %q", cfg.Model)
+	}
+}
+
+// Config returns the deployment configuration.
+func (f *Framework) Config() Config { return f.cfg }
+
+// Characterizer exposes the Job Characterizer (for analysis use).
+func (f *Framework) Characterizer() *roofline.Characterizer { return f.characterizer }
+
+// Encoder exposes the Feature Encoder.
+func (f *Framework) Encoder() *encode.Encoder { return f.encoder }
+
+// Fetcher exposes the Data Fetcher.
+func (f *Framework) Fetcher() *fetch.Fetcher { return f.fetcher }
+
+// TrainReport summarizes one Training Workflow execution.
+type TrainReport struct {
+	WindowStart, WindowEnd time.Time
+	FetchedJobs            int
+	LabeledJobs            int
+	SkippedJobs            int
+	TrainDuration          time.Duration
+	ModelVersion           int // 0 when persistence is disabled
+}
+
+// Train runs the Training Workflow as of now: fetch the jobs executed in
+// the last α days, characterize them, encode them and train a fresh
+// Classification Model instance, saving it to the registry when
+// configured.
+func (f *Framework) Train(now time.Time) (*TrainReport, error) {
+	start := now.AddDate(0, 0, -f.cfg.Alpha)
+	window, err := f.fetcher.FetchExecuted(start, now)
+	if err != nil {
+		return nil, fmt.Errorf("core: training fetch: %w", err)
+	}
+	rep := &TrainReport{WindowStart: start, WindowEnd: now, FetchedJobs: len(window)}
+
+	labeled, skipped := f.characterizer.GenerateLabels(window)
+	rep.LabeledJobs, rep.SkippedJobs = labeled, skipped
+
+	jobs := make([]*job.Job, 0, labeled)
+	labels := make([]job.Label, 0, labeled)
+	for _, j := range window {
+		if j.TrueLabel != job.Unknown {
+			jobs = append(jobs, j)
+			labels = append(labels, j.TrueLabel)
+		}
+	}
+	if len(jobs) == 0 {
+		return rep, fmt.Errorf("core: no characterizable jobs in [%v, %v)", start, now)
+	}
+
+	model, err := buildModel(f.cfg) // fresh instance per trigger
+	if err != nil {
+		return rep, err
+	}
+	enc := f.encoder.Encode(jobs)
+	t0 := time.Now()
+	if err := model.Train(enc, labels); err != nil {
+		return rep, fmt.Errorf("core: train: %w", err)
+	}
+	rep.TrainDuration = time.Since(t0)
+
+	if f.registry != nil {
+		pm, ok := model.(persist.Model)
+		if !ok {
+			return rep, fmt.Errorf("core: model %s is not persistable", model.Name())
+		}
+		v, err := f.registry.Save(model.Name(), pm)
+		if err != nil {
+			return rep, err
+		}
+		rep.ModelVersion = v
+	}
+
+	f.mu.Lock()
+	f.model, f.trained, f.version, f.lastRun = model, true, rep.ModelVersion, now
+	f.mu.Unlock()
+	return rep, nil
+}
+
+// LoadLatest restores the newest persisted model instead of training,
+// e.g. after a restart. It fails when persistence is disabled.
+func (f *Framework) LoadLatest() (int, error) {
+	if f.registry == nil {
+		return 0, fmt.Errorf("core: persistence disabled")
+	}
+	model, err := buildModel(f.cfg)
+	if err != nil {
+		return 0, err
+	}
+	pm, ok := model.(persist.Model)
+	if !ok {
+		return 0, fmt.Errorf("core: model %s is not persistable", model.Name())
+	}
+	v, err := f.registry.LoadLatest(model.Name(), pm)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	f.model, f.trained, f.version = model, true, v
+	f.mu.Unlock()
+	return v, nil
+}
+
+// Prediction pairs a job with its predicted class.
+type Prediction struct {
+	JobID string    `json:"job_id"`
+	Label job.Label `json:"-"`
+	Class string    `json:"class"`
+}
+
+// Trained reports whether a model instance is available for inference.
+func (f *Framework) Trained() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.trained
+}
+
+// ModelInfo describes the currently served model.
+func (f *Framework) ModelInfo() (name string, version int, trainedAt time.Time) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.model.Name(), f.version, f.lastRun
+}
+
+// ClassifyJobs runs the Inference Workflow on explicit job records
+// (e.g. just-submitted jobs pushed by the scheduler hook).
+func (f *Framework) ClassifyJobs(jobs []*job.Job) ([]Prediction, error) {
+	f.mu.RLock()
+	model, trained := f.model, f.trained
+	f.mu.RUnlock()
+	if !trained {
+		return nil, fmt.Errorf("core: no trained model (run the Training Workflow first)")
+	}
+	labels, err := model.Predict(f.encoder.Encode(jobs))
+	if err != nil {
+		return nil, fmt.Errorf("core: predict: %w", err)
+	}
+	out := make([]Prediction, len(jobs))
+	for i, j := range jobs {
+		out[i] = Prediction{JobID: j.ID, Label: labels[i], Class: labels[i].String()}
+	}
+	return out, nil
+}
+
+// ClassifyByID classifies a single job fetched from the data storage
+// (the per-submission inference trigger).
+func (f *Framework) ClassifyByID(id string) (Prediction, error) {
+	j, err := f.fetcher.FetchJob(id)
+	if err != nil {
+		return Prediction{}, err
+	}
+	out, err := f.ClassifyJobs([]*job.Job{j})
+	if err != nil {
+		return Prediction{}, err
+	}
+	return out[0], nil
+}
+
+// ClassifySubmitted classifies every job submitted in [start, end) (the
+// periodic inference trigger).
+func (f *Framework) ClassifySubmitted(start, end time.Time) ([]Prediction, error) {
+	jobs, err := f.fetcher.FetchSubmitted(start, end)
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	return f.ClassifyJobs(jobs)
+}

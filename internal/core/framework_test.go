@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mcbound/internal/fetch"
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+// seedStore builds a deterministic two-app store covering January 2024.
+func seedStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	seq := 0
+	add := func(day int, name string, perfGF, bwGB float64) {
+		submit := start.AddDate(0, 0, day)
+		durSec := 1800.0
+		flops := perfGF * 1e9 * durSec
+		bytes := bwGB * 1e9 * durSec
+		err := st.Insert(&job.Job{
+			ID:             fmt.Sprintf("c%05d", seq),
+			User:           "u0001",
+			Name:           name,
+			Environment:    "gcc/12.2",
+			CoresRequested: 48,
+			NodesRequested: 1,
+			NodesAllocated: 1,
+			FreqRequested:  job.FreqNormal,
+			SubmitTime:     submit,
+			StartTime:      submit.Add(time.Minute),
+			EndTime:        submit.Add(31 * time.Minute),
+			Counters: job.PerfCounters{
+				Perf2: flops,
+				Perf4: bytes * job.CoresPerCMG / job.CacheLineBytes,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	for day := 0; day < 31; day++ {
+		for i := 0; i < 6; i++ {
+			add(day, "membound_app", 50, 50)  // op = 1
+			add(day, "compbound_app", 300, 5) // op = 60
+		}
+	}
+	return st
+}
+
+func newFramework(t *testing.T, cfg Config, st *store.Store) *Framework {
+	t.Helper()
+	fw, err := New(cfg, fetch.StoreBackend{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	st := seedStore(t)
+	fw := newFramework(t, DefaultConfig(), st)
+	if fw.Trained() {
+		t.Fatal("framework claims trained before Train")
+	}
+	trainAt := time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC)
+	rep, err := fw.Train(trainAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LabeledJobs == 0 || rep.SkippedJobs != 0 {
+		t.Errorf("report: %+v", rep)
+	}
+	if !fw.Trained() {
+		t.Fatal("framework not trained after Train")
+	}
+
+	// Classify known jobs by id.
+	pred, err := fw.ClassifyByID("c00000") // membound_app
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Label != job.MemoryBound {
+		t.Errorf("membound_app classified %v", pred.Label)
+	}
+	pred, err = fw.ClassifyByID("c00001") // compbound_app
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Label != job.ComputeBound {
+		t.Errorf("compbound_app classified %v", pred.Label)
+	}
+
+	// Classify a submitted range.
+	preds, err := fw.ClassifySubmitted(trainAt, trainAt.AddDate(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 12 {
+		t.Errorf("classified %d jobs, want 12", len(preds))
+	}
+	for _, p := range preds {
+		if p.Class != p.Label.String() {
+			t.Errorf("class string mismatch: %+v", p)
+		}
+	}
+}
+
+func TestClassifyBeforeTrainFails(t *testing.T) {
+	fw := newFramework(t, DefaultConfig(), seedStore(t))
+	if _, err := fw.ClassifyByID("c00000"); err == nil {
+		t.Error("inference before training succeeded")
+	}
+}
+
+func TestTrainEmptyWindowFails(t *testing.T) {
+	fw := newFramework(t, DefaultConfig(), seedStore(t))
+	if _, err := fw.Train(time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)); err == nil {
+		t.Error("training on an empty window succeeded")
+	}
+}
+
+func TestKNNModelKind(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = ModelKNN
+	fw := newFramework(t, cfg, seedStore(t))
+	if _, err := fw.Train(time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	name, _, _ := fw.ModelInfo()
+	if name != "knn" {
+		t.Errorf("model = %s", name)
+	}
+}
+
+func TestUnknownModelKind(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "svm"
+	if _, err := New(cfg, fetch.StoreBackend{Store: store.New()}); err == nil {
+		t.Error("accepted unknown model kind")
+	}
+}
+
+func TestPersistenceAndLoadLatest(t *testing.T) {
+	st := seedStore(t)
+	cfg := DefaultConfig()
+	cfg.ModelDir = t.TempDir()
+	fw := newFramework(t, cfg, st)
+	rep, err := fw.Train(time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModelVersion != 1 {
+		t.Errorf("version = %d, want 1", rep.ModelVersion)
+	}
+
+	// A fresh framework over the same dir restores the model without
+	// retraining.
+	fresh := newFramework(t, cfg, st)
+	v, err := fresh.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || !fresh.Trained() {
+		t.Errorf("restored version %d, trained %v", v, fresh.Trained())
+	}
+	pred, err := fresh.ClassifyByID("c00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Label != job.MemoryBound {
+		t.Errorf("restored model classified %v", pred.Label)
+	}
+}
+
+func TestLoadLatestWithoutPersistence(t *testing.T) {
+	fw := newFramework(t, DefaultConfig(), seedStore(t))
+	if _, err := fw.LoadLatest(); err == nil {
+		t.Error("LoadLatest without ModelDir succeeded")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	fw := newFramework(t, Config{}, seedStore(t))
+	cfg := fw.Config()
+	if cfg.Alpha != 15 || cfg.Beta != 1 {
+		t.Errorf("defaults = α%d β%d", cfg.Alpha, cfg.Beta)
+	}
+	if cfg.Machine.Name != "Fugaku" {
+		t.Errorf("machine = %s", cfg.Machine.Name)
+	}
+}

@@ -1,0 +1,108 @@
+package encode
+
+import (
+	"sync"
+
+	"mcbound/internal/linalg"
+)
+
+// CategoricalEmbedder is the alternative encoding the paper mentions in
+// §III-B ("classical categorical mapping of feature values to
+// integers"): each comma-separated field value is assigned a stable
+// integer id from a per-field vocabulary learned on the fly, and the id
+// is spread over a fixed block of the output vector with a deterministic
+// bit pattern. Unlike the HashingEmbedder there is no subword structure:
+// two values either match exactly (identical block) or not at all —
+// which is precisely the behaviour the ablation benchmarks compare
+// against.
+//
+// The embedder is safe for concurrent use; vocabularies grow without
+// bound, matching the unbounded categorical mapping of the scikit-learn
+// pipelines it mimics.
+type CategoricalEmbedder struct {
+	dim    int
+	fields int
+
+	mu     sync.Mutex
+	vocabs []map[string]uint32
+}
+
+// NewCategoricalEmbedder builds a categorical embedder with the given
+// output dimensionality and expected field count; fields beyond the
+// expectation share the last block. dim must be >= fields and > 0.
+func NewCategoricalEmbedder(dim, fields int) *CategoricalEmbedder {
+	if dim <= 0 || fields <= 0 || dim < fields {
+		panic("encode: categorical embedder needs dim >= fields > 0")
+	}
+	vocabs := make([]map[string]uint32, fields)
+	for i := range vocabs {
+		vocabs[i] = make(map[string]uint32)
+	}
+	return &CategoricalEmbedder{dim: dim, fields: fields, vocabs: vocabs}
+}
+
+// Dim implements Embedder.
+func (e *CategoricalEmbedder) Dim() int { return e.dim }
+
+// VocabSize returns the number of distinct values seen for a field.
+func (e *CategoricalEmbedder) VocabSize(field int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if field < 0 || field >= e.fields {
+		return 0
+	}
+	return len(e.vocabs[field])
+}
+
+// Embed implements Embedder: split on commas, map each field value to
+// its vocabulary id, write the id's bits into the field's block, then
+// L2-normalize.
+func (e *CategoricalEmbedder) Embed(s string) []float32 {
+	v := make([]float32, e.dim)
+	block := e.dim / e.fields
+
+	field := 0
+	start := 0
+	emit := func(val string, field int) {
+		id := e.lookup(val, field)
+		base := field * block
+		if field >= e.fields {
+			base = (e.fields - 1) * block
+		}
+		// Spread the id's bits across the block: equal ids produce
+		// identical blocks, different ids differ in at least one slot.
+		for k := 0; k < block; k++ {
+			if id&(1<<(uint(k)%32)) != 0 {
+				v[base+k] = 1
+			} else {
+				v[base+k] = -1
+			}
+			id = id*2654435761 + 1 // decorrelate consecutive ids
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' {
+			emit(s[start:i], field)
+			field++
+			start = i + 1
+		}
+	}
+	emit(s[start:], field)
+	linalg.Normalize(v)
+	return v
+}
+
+func (e *CategoricalEmbedder) lookup(val string, field int) uint32 {
+	if field >= e.fields {
+		field = e.fields - 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	vocab := e.vocabs[field]
+	if id, ok := vocab[val]; ok {
+		return id
+	}
+	id := uint32(len(vocab) + 1)
+	vocab[val] = id
+	return id
+}

@@ -1,0 +1,110 @@
+package encode
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mcbound/internal/linalg"
+)
+
+func TestCategoricalDeterministicUnitNorm(t *testing.T) {
+	e := NewCategoricalEmbedder(Dim, 6)
+	a := e.Embed("u0001,cfd_prod_01,96,2,gcc/12.2,2000MHz")
+	b := e.Embed("u0001,cfd_prod_01,96,2,gcc/12.2,2000MHz")
+	if len(a) != Dim || e.Dim() != Dim {
+		t.Fatalf("dim = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	if n := linalg.Norm2(a); math.Abs(n-1) > 1e-5 {
+		t.Errorf("norm = %g", n)
+	}
+}
+
+func TestCategoricalExactMatchSemantics(t *testing.T) {
+	e := NewCategoricalEmbedder(Dim, 2)
+	same := cosine(e.Embed("alpha,1"), e.Embed("alpha,1"))
+	oneOff := cosine(e.Embed("alpha,1"), e.Embed("alpha,2"))
+	allOff := cosine(e.Embed("alpha,1"), e.Embed("beta,2"))
+	if math.Abs(same-1) > 1e-6 {
+		t.Errorf("identical strings cosine = %g", same)
+	}
+	if oneOff <= allOff {
+		t.Errorf("field overlap not reflected: oneOff %g, allOff %g", oneOff, allOff)
+	}
+	// No subword structure: near-identical values are as far apart as
+	// unrelated ones (this is the ablation's point).
+	near := cosine(e.Embed("cfd_prod_01,1"), e.Embed("cfd_prod_02,1"))
+	unrelated := cosine(e.Embed("cfd_prod_01,1"), e.Embed("zzz,1"))
+	if math.Abs(near-unrelated) > 0.2 {
+		t.Errorf("categorical embedding leaked lexical similarity: near %g vs unrelated %g", near, unrelated)
+	}
+}
+
+func TestCategoricalVocabularyGrowth(t *testing.T) {
+	e := NewCategoricalEmbedder(64, 2)
+	e.Embed("a,1")
+	e.Embed("b,1")
+	e.Embed("a,2")
+	if got := e.VocabSize(0); got != 2 {
+		t.Errorf("field 0 vocab = %d, want 2", got)
+	}
+	if got := e.VocabSize(1); got != 2 {
+		t.Errorf("field 1 vocab = %d, want 2", got)
+	}
+	if got := e.VocabSize(5); got != 0 {
+		t.Errorf("out-of-range vocab = %d", got)
+	}
+}
+
+func TestCategoricalExtraFieldsShareLastBlock(t *testing.T) {
+	e := NewCategoricalEmbedder(64, 2)
+	// Three fields with a two-field embedder must not panic and must
+	// still distinguish the overflow value.
+	a := e.Embed("x,y,z")
+	b := e.Embed("x,y,w")
+	if cosine(a, b) >= 1-1e-9 {
+		t.Error("overflow field ignored entirely")
+	}
+}
+
+func TestCategoricalPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("accepted dim < fields")
+		}
+	}()
+	NewCategoricalEmbedder(2, 6)
+}
+
+func TestCategoricalConcurrentSafe(t *testing.T) {
+	e := NewCategoricalEmbedder(Dim, 6)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Embed(FeatureString(testJob(i*4+w), DefaultFeatures()))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.VocabSize(0) == 0 {
+		t.Error("vocabulary empty after concurrent use")
+	}
+}
+
+func TestEncoderWithCategoricalEmbedder(t *testing.T) {
+	// The Encoder must accept any Embedder implementation (the paper's
+	// "this method can be modified to leverage any encoding technique").
+	e := NewEncoder(DefaultFeatures(), NewCategoricalEmbedder(Dim, 6))
+	v := e.EncodeJob(testJob(0))
+	if len(v) != Dim {
+		t.Fatalf("dim = %d", len(v))
+	}
+}

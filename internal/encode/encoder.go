@@ -1,0 +1,127 @@
+package encode
+
+import (
+	"runtime"
+	"sync"
+
+	"mcbound/internal/job"
+)
+
+// Encoder is the MCBound Feature Encoder component: it filters the job
+// features, renders the comma-separated string and embeds it. Encodings
+// are memoized — the paper caches characterizations and encodings across
+// workflow triggers to avoid redundant computation — and batch encoding
+// is parallelized across cores.
+type Encoder struct {
+	features []Feature
+	embedder Embedder
+
+	mu    sync.RWMutex
+	cache map[string][]float32
+
+	// CacheLimit bounds the memo size; 0 means unlimited. When the limit
+	// is hit the cache is dropped wholesale (encodings are cheap to
+	// recompute and batches are highly repetitive within a window).
+	CacheLimit int
+}
+
+// NewEncoder builds an Encoder over the given feature subset and
+// embedder. Nil features defaults to DefaultFeatures; nil embedder to the
+// hashing embedder.
+func NewEncoder(features []Feature, embedder Embedder) *Encoder {
+	if features == nil {
+		features = DefaultFeatures()
+	}
+	if embedder == nil {
+		he := NewHashingEmbedder()
+		he.FieldWeights = FieldWeightsFor(features)
+		embedder = he
+	}
+	return &Encoder{
+		features:   features,
+		embedder:   embedder,
+		cache:      make(map[string][]float32),
+		CacheLimit: 1 << 20,
+	}
+}
+
+// Features returns the encoder's feature subset.
+func (e *Encoder) Features() []Feature { return e.features }
+
+// Dim returns the encoding dimensionality.
+func (e *Encoder) Dim() int { return e.embedder.Dim() }
+
+// EncodeJob returns the embedding of a single job, from cache when the
+// identical feature string was seen before. The returned slice is shared
+// with the cache and must not be mutated.
+func (e *Encoder) EncodeJob(j *job.Job) []float32 {
+	key := FeatureString(j, e.features)
+	e.mu.RLock()
+	v, ok := e.cache[key]
+	e.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = e.embedder.Embed(key)
+	e.mu.Lock()
+	if e.CacheLimit > 0 && len(e.cache) >= e.CacheLimit {
+		e.cache = make(map[string][]float32)
+	}
+	e.cache[key] = v
+	e.mu.Unlock()
+	return v
+}
+
+// Encode embeds a batch of jobs, splitting the work across all cores.
+// Result row i corresponds to jobs[i].
+func (e *Encoder) Encode(jobs []*job.Job) [][]float32 {
+	out := make([][]float32, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			out[i] = e.EncodeJob(j)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(jobs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.EncodeJob(jobs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// CacheSize returns the number of memoized feature strings.
+func (e *Encoder) CacheSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.cache)
+}
+
+// ResetCache drops every memoized encoding.
+func (e *Encoder) ResetCache() {
+	e.mu.Lock()
+	e.cache = make(map[string][]float32)
+	e.mu.Unlock()
+}

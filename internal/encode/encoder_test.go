@@ -1,0 +1,133 @@
+package encode
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mcbound/internal/job"
+)
+
+func testJob(i int) *job.Job {
+	return &job.Job{
+		ID:             fmt.Sprintf("j%03d", i),
+		User:           fmt.Sprintf("u%04d", i%7),
+		Name:           fmt.Sprintf("app_%02d", i%11),
+		Environment:    "gcc/12.2",
+		CoresRequested: 48 * (1 + i%4),
+		NodesRequested: 1 + i%4,
+		FreqRequested:  job.FreqNormal,
+		SubmitTime:     time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestFeatureString(t *testing.T) {
+	j := testJob(0)
+	got := FeatureString(j, DefaultFeatures())
+	want := "u0000,app_00,48,1,gcc/12.2,2000MHz"
+	if got != want {
+		t.Errorf("FeatureString = %q, want %q", got, want)
+	}
+	got = FeatureString(j, BaselineFeatures())
+	if got != "app_00,48" {
+		t.Errorf("baseline FeatureString = %q", got)
+	}
+}
+
+func TestFeatureValueCoversAll(t *testing.T) {
+	j := testJob(3)
+	for f := Feature(0); f < numFeatures; f++ {
+		if FeatureValue(j, f) == "" {
+			t.Errorf("feature %v rendered empty", f)
+		}
+		if f.String() == "" {
+			t.Errorf("feature %d has no name", f)
+		}
+	}
+	if FeatureValue(j, Feature(99)) != "" {
+		t.Error("unknown feature should render empty")
+	}
+}
+
+func TestFieldWeightsFor(t *testing.T) {
+	w := FieldWeightsFor(DefaultFeatures())
+	if len(w) != len(DefaultFeatures()) {
+		t.Fatalf("len = %d", len(w))
+	}
+	if w[0] <= w[len(w)-1] {
+		t.Errorf("user weight %g not above frequency weight %g", w[0], w[len(w)-1])
+	}
+}
+
+func TestEncodeJobCaching(t *testing.T) {
+	e := NewEncoder(nil, nil)
+	j := testJob(1)
+	a := e.EncodeJob(j)
+	b := e.EncodeJob(j)
+	if &a[0] != &b[0] {
+		t.Error("identical jobs did not hit the cache")
+	}
+	if e.CacheSize() != 1 {
+		t.Errorf("cache size = %d", e.CacheSize())
+	}
+	e.ResetCache()
+	if e.CacheSize() != 0 {
+		t.Error("ResetCache did not clear")
+	}
+}
+
+func TestEncodeBatchMatchesSingle(t *testing.T) {
+	e := NewEncoder(nil, nil)
+	jobs := make([]*job.Job, 100)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	batch := e.Encode(jobs)
+	fresh := NewEncoder(nil, nil)
+	for i, j := range jobs {
+		single := fresh.EncodeJob(j)
+		for d := range single {
+			if batch[i][d] != single[d] {
+				t.Fatalf("job %d dim %d: batch %g vs single %g", i, d, batch[i][d], single[d])
+			}
+		}
+	}
+}
+
+func TestEncodeEmptyBatch(t *testing.T) {
+	e := NewEncoder(nil, nil)
+	if out := e.Encode(nil); len(out) != 0 {
+		t.Errorf("Encode(nil) returned %d rows", len(out))
+	}
+}
+
+func TestCacheLimitWholesaleDrop(t *testing.T) {
+	e := NewEncoder(nil, nil)
+	e.CacheLimit = 8
+	for i := 0; i < 50; i++ {
+		e.EncodeJob(testJob(i))
+	}
+	if e.CacheSize() > 8 {
+		t.Errorf("cache size %d exceeds limit 8", e.CacheSize())
+	}
+}
+
+func TestEncoderCustomFeatures(t *testing.T) {
+	e := NewEncoder(BaselineFeatures(), nil)
+	if len(e.Features()) != 2 {
+		t.Fatalf("features = %v", e.Features())
+	}
+	// Jobs differing only in user must encode identically under the
+	// baseline feature subset.
+	a, b := testJob(0), testJob(0)
+	b.User = "someone-else"
+	va, vb := e.EncodeJob(a), e.EncodeJob(b)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("baseline features leaked the user feature")
+		}
+	}
+	if e.Dim() != Dim {
+		t.Errorf("Dim = %d", e.Dim())
+	}
+}

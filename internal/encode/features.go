@@ -1,0 +1,132 @@
+// Package encode implements the MCBound Feature Encoder: it selects a
+// subset of submission-time job features, renders them as the
+// comma-separated string of the paper, and embeds that string into a
+// fixed-size 384-dimensional float vector.
+//
+// The paper uses Sentence-BERT (all-MiniLM-L6-v2) for the embedding; this
+// repository substitutes a from-scratch deterministic sentence embedder
+// (subword tokenizer + signed feature hashing, see embed.go) with the
+// same contract: fixed 384-dim output, unit norm, lexically similar
+// strings map to nearby vectors. DESIGN.md §2 documents the substitution.
+package encode
+
+import (
+	"fmt"
+	"strings"
+
+	"mcbound/internal/job"
+)
+
+// Feature identifies one encodable job feature.
+type Feature int
+
+// The submission-time features MCBound can feed to the classifier. The
+// paper's ablation selected user name, job name, #cores requested,
+// #nodes requested and environment (from prior work) plus frequency
+// requested.
+const (
+	FeatUser Feature = iota
+	FeatJobName
+	FeatCoresRequested
+	FeatNodesRequested
+	FeatEnvironment
+	FeatFrequency
+	numFeatures
+)
+
+// String returns the feature's trace-column name.
+func (f Feature) String() string {
+	switch f {
+	case FeatUser:
+		return "usr"
+	case FeatJobName:
+		return "jnam"
+	case FeatCoresRequested:
+		return "cnumr"
+	case FeatNodesRequested:
+		return "nnumr"
+	case FeatEnvironment:
+		return "env"
+	case FeatFrequency:
+		return "freq_req"
+	default:
+		return fmt.Sprintf("feature(%d)", int(f))
+	}
+}
+
+// DefaultFeatures is the augmented feature set the paper settles on.
+func DefaultFeatures() []Feature {
+	return []Feature{
+		FeatUser, FeatJobName, FeatCoresRequested,
+		FeatNodesRequested, FeatEnvironment, FeatFrequency,
+	}
+}
+
+// DefaultWeight returns the embedding field weight of a feature,
+// reflecting how discriminative each feature proved in the initial
+// empirical evaluation: identity features (user, name) dominate, the
+// per-job-variable frequency weighs least so an app's runs stay close.
+func DefaultWeight(f Feature) float32 {
+	switch f {
+	case FeatUser:
+		return 1.6
+	case FeatJobName:
+		return 1.2
+	case FeatEnvironment:
+		return 1.0
+	case FeatCoresRequested, FeatNodesRequested:
+		return 0.8
+	case FeatFrequency:
+		return 0.6
+	default:
+		return 1.0
+	}
+}
+
+// FieldWeightsFor maps a feature subset to its embedding field weights.
+func FieldWeightsFor(feats []Feature) []float32 {
+	out := make([]float32, len(feats))
+	for i, f := range feats {
+		out[i] = DefaultWeight(f)
+	}
+	return out
+}
+
+// BaselineFeatures is the reduced set of the §V.C.a simple baseline:
+// (job name, #cores requested).
+func BaselineFeatures() []Feature {
+	return []Feature{FeatJobName, FeatCoresRequested}
+}
+
+// FeatureValue renders one feature of a job as a string.
+func FeatureValue(j *job.Job, f Feature) string {
+	switch f {
+	case FeatUser:
+		return j.User
+	case FeatJobName:
+		return j.Name
+	case FeatCoresRequested:
+		return fmt.Sprintf("%d", j.CoresRequested)
+	case FeatNodesRequested:
+		return fmt.Sprintf("%d", j.NodesRequested)
+	case FeatEnvironment:
+		return j.Environment
+	case FeatFrequency:
+		return fmt.Sprintf("%dMHz", int(j.FreqRequested))
+	default:
+		return ""
+	}
+}
+
+// FeatureString concatenates the selected feature values into the
+// comma-separated representation the embedder consumes (paper §III-B).
+func FeatureString(j *job.Job, feats []Feature) string {
+	var b strings.Builder
+	for i, f := range feats {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(FeatureValue(j, f))
+	}
+	return b.String()
+}

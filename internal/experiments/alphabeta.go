@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mcbound/internal/encode"
+	"mcbound/internal/ml/baseline"
+	"mcbound/internal/ml/knn"
+	"mcbound/internal/ml/rf"
+	"mcbound/internal/online"
+)
+
+// ModelName selects the classifier of an online run.
+type ModelName string
+
+// The three models of §V.
+const (
+	KNN      ModelName = "knn"
+	RF       ModelName = "rf"
+	Baseline ModelName = "baseline"
+)
+
+// RunOnline executes one online-algorithm run for the given model and
+// parameters over the paper's test month. A fresh encoder and model are
+// built per run so runtime measurements are not polluted by warm caches.
+func RunOnline(env *Env, model ModelName, p online.Params) (*online.Result, error) {
+	r := &online.Runner{
+		Fetcher:       env.Fetcher,
+		Characterizer: env.Characterizer,
+	}
+	switch model {
+	case KNN:
+		r.Encoder = encode.NewEncoder(nil, nil)
+		r.Model = knn.New(knn.DefaultConfig())
+	case RF:
+		r.Encoder = encode.NewEncoder(nil, nil)
+		cfg := rf.DefaultConfig()
+		cfg.Seed = p.Seed + 1
+		r.Model = rf.New(cfg)
+	case Baseline:
+		r.JobModel = baseline.New()
+	default:
+		return nil, fmt.Errorf("experiments: unknown model %q", model)
+	}
+	return r.Run(p, TestPeriodStart, TestPeriodEnd)
+}
+
+// AlphaBetaCell is one point of the Fig. 6 grids.
+type AlphaBetaCell struct {
+	Model       ModelName
+	Alpha, Beta int
+	F1          float64
+	TrainTime   time.Duration // Fig. 7 series (β=1 rows)
+	InferPerJob time.Duration // Fig. 8 series (β=1 rows)
+	TrainSize   float64
+}
+
+// AlphaBetaGrid sweeps α ∈ alphas × β ∈ betas for one model (Fig. 6) and
+// reports per-cell timing (Figs. 7–8 read the β=1 row).
+func AlphaBetaGrid(env *Env, model ModelName, alphas, betas []int, seed uint64) ([]AlphaBetaCell, error) {
+	var out []AlphaBetaCell
+	for _, a := range alphas {
+		for _, b := range betas {
+			res, err := RunOnline(env, model, online.Params{Alpha: a, Beta: b, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s α=%d β=%d: %w", model, a, b, err)
+			}
+			out = append(out, AlphaBetaCell{
+				Model:       model,
+				Alpha:       a,
+				Beta:        b,
+				F1:          res.F1,
+				TrainTime:   res.AvgTrainTime,
+				InferPerJob: res.AvgInferencePerJob,
+				TrainSize:   res.AvgTrainSize,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteAlphaBetaTable renders a Fig. 6-style F1 grid, one row per α, one
+// column per β.
+func WriteAlphaBetaTable(w io.Writer, cells []AlphaBetaCell, betas []int) {
+	fmt.Fprintf(w, "%8s", "α \\ β")
+	for _, b := range betas {
+		fmt.Fprintf(w, " %8d", b)
+	}
+	fmt.Fprintln(w)
+	var lastAlpha = -1
+	for _, c := range cells {
+		if c.Alpha != lastAlpha {
+			if lastAlpha != -1 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "%8d", c.Alpha)
+			lastAlpha = c.Alpha
+		}
+		fmt.Fprintf(w, " %8.4f", c.F1)
+	}
+	fmt.Fprintln(w)
+}
+
+// Defaults of the paper's first experiment.
+var (
+	PaperAlphas = []int{15, 30, 45, 60}
+	PaperBetas  = []int{1, 2, 5, 10}
+)
+
+// BestParams returns the per-model best settings the paper converges on.
+func BestParams(m ModelName) online.Params {
+	switch m {
+	case RF:
+		return online.Params{Alpha: 15, Beta: 1}
+	default: // KNN and the baseline both use α=30, β=1
+		return online.Params{Alpha: 30, Beta: 1}
+	}
+}

@@ -1,0 +1,80 @@
+// Package fetch implements the MCBound Data Fetcher component: the
+// interface through which every workflow retrieves job data from the jobs
+// data storage (paper §III-A). The Fetcher is configured at construction
+// with a Backend for the storage technology deployed on the target
+// system; this repository ships the in-memory store backend, and the
+// interface is the seam where a relational or distributed backend would
+// plug in.
+package fetch
+
+import (
+	"errors"
+	"time"
+
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+// Backend abstracts the jobs data storage technology. It mirrors the two
+// query shapes of the paper's fetch method.
+type Backend interface {
+	// JobByID returns the record of a single job.
+	JobByID(id string) (*job.Job, error)
+	// ExecutedBetween returns jobs completed in [start, end).
+	ExecutedBetween(start, end time.Time) ([]*job.Job, error)
+	// SubmittedBetween returns jobs submitted in [start, end).
+	SubmittedBetween(start, end time.Time) ([]*job.Job, error)
+}
+
+// Fetcher is the Data Fetcher component.
+type Fetcher struct {
+	backend Backend
+}
+
+// ErrNilBackend is returned when constructing a Fetcher without a backend.
+var ErrNilBackend = errors.New("fetch: nil backend")
+
+// New builds a Fetcher over the given backend.
+func New(b Backend) (*Fetcher, error) {
+	if b == nil {
+		return nil, ErrNilBackend
+	}
+	return &Fetcher{backend: b}, nil
+}
+
+// FetchJob retrieves the data of the single job with the given id
+// (the fetch(job_id) form).
+func (f *Fetcher) FetchJob(id string) (*job.Job, error) {
+	return f.backend.JobByID(id)
+}
+
+// FetchExecuted retrieves all jobs executed (completed) between start and
+// end (the fetch(start_time, end_time) form used by the Training
+// Workflow).
+func (f *Fetcher) FetchExecuted(start, end time.Time) ([]*job.Job, error) {
+	return f.backend.ExecutedBetween(start, end)
+}
+
+// FetchSubmitted retrieves all jobs submitted between start and end (used
+// by the Inference Workflow when triggered periodically).
+func (f *Fetcher) FetchSubmitted(start, end time.Time) ([]*job.Job, error) {
+	return f.backend.SubmittedBetween(start, end)
+}
+
+// StoreBackend adapts store.Store to the Backend interface.
+type StoreBackend struct {
+	Store *store.Store
+}
+
+// JobByID implements Backend.
+func (b StoreBackend) JobByID(id string) (*job.Job, error) { return b.Store.Get(id) }
+
+// ExecutedBetween implements Backend.
+func (b StoreBackend) ExecutedBetween(start, end time.Time) ([]*job.Job, error) {
+	return b.Store.ExecutedBetween(start, end), nil
+}
+
+// SubmittedBetween implements Backend.
+func (b StoreBackend) SubmittedBetween(start, end time.Time) ([]*job.Job, error) {
+	return b.Store.SubmittedBetween(start, end), nil
+}

@@ -1,0 +1,83 @@
+package fetch
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+func newBackend(t *testing.T) (*store.Store, *Fetcher) {
+	t.Helper()
+	st := store.New()
+	base := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		submit := base.Add(time.Duration(i) * time.Hour)
+		if err := st.Insert(&job.Job{
+			ID:             string(rune('a' + i)),
+			User:           "u",
+			Name:           "n",
+			CoresRequested: 48,
+			NodesRequested: 1,
+			NodesAllocated: 1,
+			FreqRequested:  job.FreqNormal,
+			SubmitTime:     submit,
+			StartTime:      submit.Add(time.Minute),
+			EndTime:        submit.Add(31 * time.Minute),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := New(StoreBackend{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, f
+}
+
+func TestNewRejectsNilBackend(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNilBackend) {
+		t.Errorf("err = %v, want ErrNilBackend", err)
+	}
+}
+
+func TestFetchJob(t *testing.T) {
+	_, f := newBackend(t)
+	j, err := f.FetchJob("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "a" {
+		t.Errorf("fetched %s", j.ID)
+	}
+	if _, err := f.FetchJob("zz"); err == nil {
+		t.Error("fetch of missing job succeeded")
+	}
+}
+
+func TestFetchExecuted(t *testing.T) {
+	_, f := newBackend(t)
+	base := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	jobs, err := f.FetchExecuted(base, base.Add(5*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs end at submit+31m, so ends within [0h, 5h) are i = 0..4.
+	if len(jobs) != 5 {
+		t.Errorf("fetched %d executed jobs, want 5", len(jobs))
+	}
+}
+
+func TestFetchSubmitted(t *testing.T) {
+	_, f := newBackend(t)
+	base := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	jobs, err := f.FetchSubmitted(base.Add(2*time.Hour), base.Add(4*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Errorf("fetched %d submitted jobs, want 2", len(jobs))
+	}
+}

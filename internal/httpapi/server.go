@@ -1,0 +1,257 @@
+// Package httpapi exposes the MCBound framework operations over HTTP —
+// the role of the paper's flask backend (§III-E). Endpoints mirror the
+// framework API:
+//
+//	GET  /healthz                      liveness probe
+//	GET  /v1/model                     currently served model info
+//	POST /v1/train                     trigger the Training Workflow
+//	POST /v1/jobs                      insert job records (demo/test path)
+//	GET  /v1/classify/{id}             classify one stored job
+//	POST /v1/classify                  classify posted job records
+//	GET  /v1/classify?start=&end=      classify jobs submitted in a range
+//	GET  /v1/characterize?start=&end=  Roofline-label executed jobs
+//
+// All payloads are JSON. Timestamps are RFC 3339.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"mcbound/internal/core"
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+// Server wires a Framework and its job store into an http.Handler.
+type Server struct {
+	fw    *core.Framework
+	store *store.Store
+	mux   *http.ServeMux
+	log   *log.Logger
+}
+
+// New builds a Server. The store must be the same one backing the
+// framework's Data Fetcher (the insert endpoint writes to it).
+func New(fw *core.Framework, st *store.Store, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{fw: fw, store: st, mux: http.NewServeMux(), log: logger}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleInsert)
+	s.mux.HandleFunc("GET /v1/classify/{id}", s.handleClassifyByID)
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassifyJobs)
+	s.mux.HandleFunc("GET /v1/classify", s.handleClassifyRange)
+	s.mux.HandleFunc("GET /v1/characterize", s.handleCharacterize)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Printf("httpapi: encode response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"trained": s.fw.Trained(),
+		"jobs":    s.store.Len(),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	name, version, trainedAt := s.fw.ModelInfo()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"model":      name,
+		"version":    version,
+		"trained":    s.fw.Trained(),
+		"trained_at": trainedAt,
+		"alpha_days": s.fw.Config().Alpha,
+		"beta_days":  s.fw.Config().Beta,
+	})
+}
+
+type trainRequest struct {
+	// Now is the reference instant for the α-day window; empty means
+	// the current wall-clock time.
+	Now string `json:"now,omitempty"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req trainRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	now := time.Now().UTC()
+	if req.Now != "" {
+		t, err := time.Parse(time.RFC3339, req.Now)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad now: %w", err))
+			return
+		}
+		now = t
+	}
+	rep, err := s.fw.Train(now)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"window_start":  rep.WindowStart,
+		"window_end":    rep.WindowEnd,
+		"fetched_jobs":  rep.FetchedJobs,
+		"labeled_jobs":  rep.LabeledJobs,
+		"skipped_jobs":  rep.SkippedJobs,
+		"train_seconds": rep.TrainDuration.Seconds(),
+		"model_version": rep.ModelVersion,
+	})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var jobs []*job.Job
+	if err := json.NewDecoder(r.Body).Decode(&jobs); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad jobs payload: %w", err))
+		return
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := s.store.Insert(jobs...); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"inserted": len(jobs)})
+}
+
+func (s *Server) handleClassifyByID(w http.ResponseWriter, r *http.Request) {
+	pred, err := s.fw.ClassifyByID(r.PathValue("id"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "not found") {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, pred)
+}
+
+func (s *Server) handleClassifyJobs(w http.ResponseWriter, r *http.Request) {
+	var jobs []*job.Job
+	if err := json.NewDecoder(r.Body).Decode(&jobs); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad jobs payload: %w", err))
+		return
+	}
+	preds, err := s.fw.ClassifyJobs(jobs)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, preds)
+}
+
+func (s *Server) handleClassifyRange(w http.ResponseWriter, r *http.Request) {
+	start, end, err := timeRange(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	preds, err := s.fw.ClassifySubmitted(start, end)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, preds)
+}
+
+type charBody struct {
+	JobID     string  `json:"job_id"`
+	Class     string  `json:"class"`
+	GFlops    float64 `json:"gflops_per_node"`
+	GBps      float64 `json:"gbytes_per_node"`
+	Intensity float64 `json:"op_intensity"`
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	start, end, err := timeRange(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, err := s.fw.Fetcher().FetchExecuted(start, end)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]charBody, 0, len(jobs))
+	for _, j := range jobs {
+		pt, err := s.fw.Characterizer().Characterize(j)
+		if err != nil {
+			continue
+		}
+		out = append(out, charBody{
+			JobID:     j.ID,
+			Class:     pt.Label.String(),
+			GFlops:    pt.Performance,
+			GBps:      pt.Bandwidth,
+			Intensity: pt.Intensity,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func timeRange(r *http.Request) (start, end time.Time, err error) {
+	q := r.URL.Query()
+	if q.Get("start") == "" || q.Get("end") == "" {
+		return start, end, errors.New("start and end query parameters are required (RFC 3339)")
+	}
+	start, err = time.Parse(time.RFC3339, q.Get("start"))
+	if err != nil {
+		return start, end, fmt.Errorf("bad start: %w", err)
+	}
+	end, err = time.Parse(time.RFC3339, q.Get("end"))
+	if err != nil {
+		return start, end, fmt.Errorf("bad end: %w", err)
+	}
+	if !end.After(start) {
+		return start, end, errors.New("end must be after start")
+	}
+	return start, end, nil
+}
+
+// decodeBody tolerates an empty request body.
+func decodeBody(r *http.Request, v any) error {
+	if r.Body == nil || r.ContentLength == 0 {
+		return nil
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mcbound/internal/core"
+	"mcbound/internal/fetch"
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st := store.New()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		submit := start.Add(time.Duration(i) * 4 * time.Hour)
+		name, perfGF, bwGB := "memapp", 50.0, 50.0
+		if i%2 == 1 {
+			name, perfGF, bwGB = "compapp", 300.0, 5.0
+		}
+		durSec := 1800.0
+		if err := st.Insert(&job.Job{
+			ID:             fmt.Sprintf("s%04d", i),
+			User:           "u0001",
+			Name:           name,
+			Environment:    "gcc/12.2",
+			CoresRequested: 48,
+			NodesRequested: 1,
+			NodesAllocated: 1,
+			FreqRequested:  job.FreqBoost,
+			SubmitTime:     submit,
+			StartTime:      submit.Add(time.Minute),
+			EndTime:        submit.Add(31 * time.Minute),
+			Counters: job.PerfCounters{
+				Perf2: perfGF * 1e9 * durSec,
+				Perf4: bwGB * 1e9 * durSec * job.CoresPerCMG / job.CacheLineBytes,
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw, err := core.New(core.DefaultConfig(), fetch.StoreBackend{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Train(time.Date(2024, 1, 15, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(fw, st, log.New(io.Discard, "", 0)))
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	var body map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["status"] != "ok" || body["trained"] != true {
+		t.Errorf("health = %v", body)
+	}
+}
+
+func TestModelInfo(t *testing.T) {
+	srv, _ := testServer(t)
+	var body map[string]any
+	if code := getJSON(t, srv.URL+"/v1/model", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["model"] != "rf" || body["alpha_days"] != float64(15) {
+		t.Errorf("model info = %v", body)
+	}
+}
+
+func TestClassifyByID(t *testing.T) {
+	srv, _ := testServer(t)
+	var pred struct {
+		JobID string `json:"job_id"`
+		Class string `json:"class"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/classify/s0000", &pred); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if pred.JobID != "s0000" || pred.Class != "memory-bound" {
+		t.Errorf("pred = %+v", pred)
+	}
+	if code := getJSON(t, srv.URL+"/v1/classify/nope", nil); code != http.StatusNotFound {
+		t.Errorf("missing job status = %d", code)
+	}
+}
+
+func TestClassifyRange(t *testing.T) {
+	srv, _ := testServer(t)
+	u := srv.URL + "/v1/classify?start=2024-01-10T00:00:00Z&end=2024-01-12T00:00:00Z"
+	var preds []map[string]any
+	if code := getJSON(t, u, &preds); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(preds) != 12 { // 2 days * 6 jobs/day
+		t.Errorf("classified %d jobs, want 12", len(preds))
+	}
+	// Missing parameters → 400.
+	if code := getJSON(t, srv.URL+"/v1/classify?start=2024-01-10T00:00:00Z", nil); code != http.StatusBadRequest {
+		t.Errorf("missing end status = %d", code)
+	}
+	// Reversed range → 400.
+	u = srv.URL + "/v1/classify?start=2024-01-12T00:00:00Z&end=2024-01-10T00:00:00Z"
+	if code := getJSON(t, u, nil); code != http.StatusBadRequest {
+		t.Errorf("reversed range status = %d", code)
+	}
+}
+
+func TestClassifyPostedJobs(t *testing.T) {
+	srv, _ := testServer(t)
+	jobs := []*job.Job{{
+		ID: "new1", User: "u0001", Name: "memapp", Environment: "gcc/12.2",
+		CoresRequested: 48, NodesRequested: 1, FreqRequested: job.FreqBoost,
+		SubmitTime: time.Now().UTC(),
+	}}
+	payload, _ := json.Marshal(jobs)
+	resp, err := http.Post(srv.URL+"/v1/classify", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var preds []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&preds); err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 1 || preds[0]["class"] != "memory-bound" {
+		t.Errorf("preds = %v", preds)
+	}
+}
+
+func TestTrainEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	body, _ := json.Marshal(map[string]string{"now": "2024-01-20T00:00:00Z"})
+	resp, err := http.Post(srv.URL+"/v1/train", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var rep map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep["labeled_jobs"].(float64) <= 0 {
+		t.Errorf("train report = %v", rep)
+	}
+	// Bad timestamp → 400.
+	resp2, err := http.Post(srv.URL+"/v1/train", "application/json",
+		bytes.NewReader([]byte(`{"now":"yesterday"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad now status = %d", resp2.StatusCode)
+	}
+}
+
+func TestInsertEndpoint(t *testing.T) {
+	srv, st := testServer(t)
+	before := st.Len()
+	submit := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	jobs := []*job.Job{{
+		ID: "ins1", User: "u0002", Name: "newapp", CoresRequested: 48,
+		NodesRequested: 1, NodesAllocated: 1, FreqRequested: job.FreqNormal,
+		SubmitTime: submit, StartTime: submit.Add(time.Minute),
+		EndTime: submit.Add(time.Hour),
+	}}
+	payload, _ := json.Marshal(jobs)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if st.Len() != before+1 {
+		t.Errorf("store len %d, want %d", st.Len(), before+1)
+	}
+	// Invalid job → 400, not inserted.
+	bad, _ := json.Marshal([]*job.Job{{ID: "bad"}})
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid job status = %d", resp.StatusCode)
+	}
+}
+
+func TestCharacterizeEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	u := srv.URL + "/v1/characterize?start=2024-01-01T00:00:00Z&end=2024-01-03T00:00:00Z"
+	var rows []struct {
+		JobID     string  `json:"job_id"`
+		Class     string  `json:"class"`
+		Intensity float64 `json:"op_intensity"`
+	}
+	if code := getJSON(t, u, &rows); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("characterized %d jobs, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Class != "memory-bound" && r.Class != "compute-bound" {
+			t.Errorf("row %s class %q", r.JobID, r.Class)
+		}
+		if r.Intensity <= 0 {
+			t.Errorf("row %s intensity %g", r.JobID, r.Intensity)
+		}
+	}
+}
+
+func TestBadPayloadsRejected(t *testing.T) {
+	srv, _ := testServer(t)
+	// Malformed JSON to the classify and insert endpoints.
+	for _, path := range []string{"/v1/classify", "/v1/jobs"} {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader([]byte("{not json")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with bad JSON: status %d", path, resp.StatusCode)
+		}
+	}
+	// Malformed timestamps on the range endpoints.
+	for _, u := range []string{
+		"/v1/classify?start=tomorrow&end=2024-01-12T00:00:00Z",
+		"/v1/characterize?start=2024-01-10T00:00:00Z&end=never",
+		"/v1/characterize",
+	} {
+		if code := getJSON(t, srv.URL+u, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d", u, code)
+		}
+	}
+}
+
+func TestTrainEmptyBodyUsesWallClock(t *testing.T) {
+	srv, _ := testServer(t)
+	// An empty body means "train as of now"; the trace ends in January
+	// 2024, so the wall-clock window is empty and the server reports a
+	// clean 500 with a JSON error body rather than crashing.
+	resp, err := http.Post(srv.URL+"/v1/train", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500 for an empty window", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("error body missing: %v, %+v", err, e)
+	}
+}

@@ -1,0 +1,75 @@
+package job
+
+// MachineSpec describes the per-node capabilities of an HPC system that
+// the Roofline characterization needs, plus descriptive fields reported in
+// the paper's Table I.
+type MachineSpec struct {
+	Name            string
+	Architecture    string
+	OS              string
+	Nodes           int
+	CoresPerNode    int
+	AssistantCores  int
+	MemoryPerNodeGB int
+
+	// PeakGFlops is the per-node peak double-precision performance in
+	// GFlop/s at the highest (boost) frequency: the Roofline must use the
+	// best attainable performance of the machine.
+	PeakGFlops float64
+
+	// PeakMemBWGBs is the per-node peak memory bandwidth in GByte/s.
+	PeakMemBWGBs float64
+
+	// InterconnectGbps is the link speed of the internal network.
+	InterconnectGbps float64
+}
+
+// RidgePoint returns the operational intensity (Flops/Byte) of the ridge
+// point: the minimum intensity at which the node can reach peak
+// performance. Jobs above it are compute-bound, below memory-bound.
+func (m MachineSpec) RidgePoint() float64 { return m.PeakGFlops / m.PeakMemBWGBs }
+
+// FugakuSpec reproduces Table I of the paper: the Supercomputer Fugaku
+// node architecture (Fujitsu A64FX, FX1000 boost-mode configuration).
+func FugakuSpec() MachineSpec {
+	return MachineSpec{
+		Name:             "Fugaku",
+		Architecture:     "Armv8.2-A SVE 512 bit",
+		OS:               "Red Hat Enterprise Linux 8",
+		Nodes:            158976,
+		CoresPerNode:     48,
+		AssistantCores:   4,
+		MemoryPerNodeGB:  32,
+		PeakGFlops:       3380, // FP64, boost mode (2.2 GHz)
+		PeakMemBWGBs:     1024, // HBM2
+		InterconnectGbps: 28,   // Tofu D
+	}
+}
+
+// A64FX micro-architecture constants used in Eq. 4 and 5 of the paper to
+// convert raw PMU counters into flops and moved memory bytes.
+const (
+	// SVEWidthFactor converts FP_SCALE_OPS_SPEC (per-128-bit-SVE
+	// operation counts) into actual operations on the 512-bit SVE A64FX.
+	SVEWidthFactor = 4
+
+	// CacheLineBytes is the size of a memory request on the A64FX.
+	CacheLineBytes = 256
+
+	// CoresPerCMG is the number of cores in a Core Memory Group. The
+	// BUS_* counters are replicated across all cores of a CMG, so the
+	// summed trace values must be divided by this factor.
+	CoresPerCMG = 12
+)
+
+// Flops implements Eq. 4: total floating-point operations of a job from
+// its PMU counters.
+func (c PerfCounters) Flops() float64 {
+	return c.Perf2 + c.Perf3*SVEWidthFactor
+}
+
+// MovedBytes implements Eq. 5: total bytes moved to/from main memory,
+// de-duplicating the per-CMG replication of the bus counters.
+func (c PerfCounters) MovedBytes() float64 {
+	return (c.Perf4 + c.Perf5) * CacheLineBytes / CoresPerCMG
+}

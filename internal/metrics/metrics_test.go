@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mcbound/internal/job"
+)
+
+func TestScoresKnownMatrix(t *testing.T) {
+	// actual memory: 8 predicted memory, 2 predicted compute
+	// actual compute: 1 predicted memory, 4 predicted compute
+	c := NewConfusion()
+	for i := 0; i < 8; i++ {
+		c.Add(job.MemoryBound, job.MemoryBound)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(job.MemoryBound, job.ComputeBound)
+	}
+	c.Add(job.ComputeBound, job.MemoryBound)
+	for i := 0; i < 4; i++ {
+		c.Add(job.ComputeBound, job.ComputeBound)
+	}
+
+	mem := c.Scores(job.MemoryBound)
+	if mem.TP != 8 || mem.FP != 1 || mem.FN != 2 || mem.Support != 10 {
+		t.Fatalf("memory scores: %+v", mem)
+	}
+	wantP, wantR := 8.0/9.0, 0.8
+	if math.Abs(mem.Precision-wantP) > 1e-12 || math.Abs(mem.Recall-wantR) > 1e-12 {
+		t.Errorf("memory P/R = %g/%g", mem.Precision, mem.Recall)
+	}
+	wantF1 := 2 * wantP * wantR / (wantP + wantR)
+	if math.Abs(mem.F1-wantF1) > 1e-12 {
+		t.Errorf("memory F1 = %g, want %g", mem.F1, wantF1)
+	}
+
+	comp := c.Scores(job.ComputeBound)
+	compF1 := 2 * (4.0 / 6.0) * 0.8 / (4.0/6.0 + 0.8)
+	if math.Abs(comp.F1-compF1) > 1e-12 {
+		t.Errorf("compute F1 = %g, want %g", comp.F1, compF1)
+	}
+
+	wantMacro := (wantF1 + compF1) / 2
+	if math.Abs(c.F1Macro()-wantMacro) > 1e-12 {
+		t.Errorf("F1 macro = %g, want %g", c.F1Macro(), wantMacro)
+	}
+	if math.Abs(c.Accuracy()-12.0/15.0) > 1e-12 {
+		t.Errorf("accuracy = %g", c.Accuracy())
+	}
+	if c.N() != 15 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestPerfectAndWorstPrediction(t *testing.T) {
+	perfect := NewConfusion()
+	for i := 0; i < 10; i++ {
+		perfect.Add(job.MemoryBound, job.MemoryBound)
+		perfect.Add(job.ComputeBound, job.ComputeBound)
+	}
+	if perfect.F1Macro() != 1 || perfect.Accuracy() != 1 {
+		t.Errorf("perfect F1/acc = %g/%g", perfect.F1Macro(), perfect.Accuracy())
+	}
+
+	worst := NewConfusion()
+	for i := 0; i < 10; i++ {
+		worst.Add(job.MemoryBound, job.ComputeBound)
+		worst.Add(job.ComputeBound, job.MemoryBound)
+	}
+	if worst.F1Macro() != 0 || worst.Accuracy() != 0 {
+		t.Errorf("worst F1/acc = %g/%g", worst.F1Macro(), worst.Accuracy())
+	}
+}
+
+func TestEmptyConfusion(t *testing.T) {
+	c := NewConfusion()
+	if c.F1Macro() != 0 || c.Accuracy() != 0 || c.N() != 0 {
+		t.Error("empty confusion should score zero")
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	// A class never predicted: precision 0, F1 0, no NaN.
+	c := NewConfusion()
+	c.Add(job.ComputeBound, job.MemoryBound)
+	s := c.Scores(job.ComputeBound)
+	if s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+		t.Errorf("scores with zero TP: %+v", s)
+	}
+	if math.IsNaN(c.F1Macro()) {
+		t.Error("F1Macro produced NaN")
+	}
+}
+
+func TestAddAllMismatch(t *testing.T) {
+	c := NewConfusion()
+	err := c.AddAll([]job.Label{job.MemoryBound}, nil)
+	if err == nil {
+		t.Error("AddAll accepted mismatched lengths")
+	}
+}
+
+func TestF1MacroOf(t *testing.T) {
+	actual := []job.Label{job.MemoryBound, job.MemoryBound, job.ComputeBound}
+	pred := []job.Label{job.MemoryBound, job.MemoryBound, job.ComputeBound}
+	f1, err := F1MacroOf(actual, pred)
+	if err != nil || f1 != 1 {
+		t.Errorf("F1MacroOf = %g, %v", f1, err)
+	}
+	if _, err := F1MacroOf(actual, pred[:2]); err == nil {
+		t.Error("F1MacroOf accepted mismatch")
+	}
+}
+
+func TestF1Properties(t *testing.T) {
+	// F1 ∈ [0,1]; permuting the observation order never changes it.
+	f := func(raw []bool, flips []bool) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		actual := make([]job.Label, n)
+		pred := make([]job.Label, n)
+		for i := range raw {
+			if raw[i] {
+				actual[i] = job.MemoryBound
+			} else {
+				actual[i] = job.ComputeBound
+			}
+			pred[i] = actual[i]
+			if i < len(flips) && flips[i] {
+				if pred[i] == job.MemoryBound {
+					pred[i] = job.ComputeBound
+				} else {
+					pred[i] = job.MemoryBound
+				}
+			}
+		}
+		f1a, err := F1MacroOf(actual, pred)
+		if err != nil || f1a < 0 || f1a > 1 {
+			return false
+		}
+		// Reverse order.
+		ra := make([]job.Label, n)
+		rp := make([]job.Label, n)
+		for i := range actual {
+			ra[n-1-i], rp[n-1-i] = actual[i], pred[i]
+		}
+		f1b, err := F1MacroOf(ra, rp)
+		return err == nil && math.Abs(f1a-f1b) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	c := NewConfusion()
+	c.Add(job.MemoryBound, job.MemoryBound)
+	c.Add(job.ComputeBound, job.MemoryBound)
+	rep := c.Report()
+	for _, want := range []string{"memory-bound", "compute-bound", "macro avg", "accuracy"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestClassesSorted(t *testing.T) {
+	c := NewConfusion()
+	c.Add(job.ComputeBound, job.MemoryBound)
+	cls := c.Classes()
+	if len(cls) != 2 || cls[0] != job.MemoryBound || cls[1] != job.ComputeBound {
+		t.Errorf("classes = %v", cls)
+	}
+}

@@ -1,0 +1,60 @@
+package ml_test
+
+import (
+	"testing"
+	"time"
+
+	"mcbound/internal/encode"
+	"mcbound/internal/job"
+	"mcbound/internal/ml"
+	"mcbound/internal/ml/knn"
+)
+
+func mkJob(user, name string) *job.Job {
+	return &job.Job{
+		ID: name, User: user, Name: name, Environment: "gcc/12.2",
+		CoresRequested: 48, NodesRequested: 1, FreqRequested: job.FreqNormal,
+		SubmitTime: time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestEncodedAdapterRoundTrip(t *testing.T) {
+	adapter := ml.Encoded{
+		Encoder: encode.NewEncoder(nil, nil),
+		Model:   knn.New(knn.DefaultConfig()),
+	}
+	if adapter.Name() != "knn" {
+		t.Errorf("name = %s", adapter.Name())
+	}
+	var jobs []*job.Job
+	var labels []job.Label
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, mkJob("u1", "membound_app"))
+		labels = append(labels, job.MemoryBound)
+		jobs = append(jobs, mkJob("u2", "compbound_app"))
+		labels = append(labels, job.ComputeBound)
+	}
+	if err := adapter.TrainJobs(jobs, labels); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := adapter.PredictJobs([]*job.Job{mkJob("u1", "membound_app"), mkJob("u2", "compbound_app")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0] != job.MemoryBound || preds[1] != job.ComputeBound {
+		t.Errorf("preds = %v", preds)
+	}
+}
+
+func TestEncodedAdapterPropagatesErrors(t *testing.T) {
+	adapter := ml.Encoded{
+		Encoder: encode.NewEncoder(nil, nil),
+		Model:   knn.New(knn.DefaultConfig()),
+	}
+	if _, err := adapter.PredictJobs([]*job.Job{mkJob("u", "n")}); err == nil {
+		t.Error("predict before train succeeded")
+	}
+	if err := adapter.TrainJobs(nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+}

@@ -1,0 +1,363 @@
+// Package knn implements the k-Nearest-Neighbors Classification Model of
+// MCBound: training stores the encoded data points; inference is a
+// majority vote among the k most similar points under the Minkowski
+// distance (paper §III-D). Distance scans are parallelized across cores
+// and run over a single contiguous buffer for cache locality.
+package knn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mcbound/internal/job"
+	"mcbound/internal/linalg"
+	"mcbound/internal/ml"
+)
+
+// Config holds the KNN hyper-parameters. The defaults match
+// scikit-learn's KNeighborsClassifier defaults used by the paper.
+type Config struct {
+	K int     // number of neighbors (default 5)
+	P float64 // Minkowski order (default 2, Euclidean)
+}
+
+// DefaultConfig returns the scikit-learn defaults.
+func DefaultConfig() Config { return Config{K: 5, P: 2} }
+
+// Classifier is a KNN model. The zero value is unusable; use New.
+//
+// Training deduplicates identical vectors into groups carrying per-label
+// multiplicities: HPC jobs arrive in batches of identical submissions, so
+// the stored matrix shrinks by one to two orders of magnitude while the
+// k-nearest vote stays exact up to tie-breaking among equidistant
+// duplicates (which brute-force KNN leaves unspecified anyway — within a
+// duplicate group votes are consumed majority-label first).
+type Classifier struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	dim    int
+	n      int        // total training points (with multiplicity)
+	groups int        // unique vectors
+	data   []float32  // groups*dim row-major unique-vector matrix
+	counts [][2]int32 // per group: votes for memory-/compute-bound
+}
+
+// New builds an untrained KNN classifier. Invalid config values fall back
+// to the defaults.
+func New(cfg Config) *Classifier {
+	if cfg.K <= 0 {
+		cfg.K = DefaultConfig().K
+	}
+	if cfg.P <= 0 {
+		cfg.P = DefaultConfig().P
+	}
+	return &Classifier{cfg: cfg}
+}
+
+// Name implements ml.Classifier.
+func (c *Classifier) Name() string { return "knn" }
+
+// Config returns the model's hyper-parameters.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// TrainSize returns the number of stored training points (with
+// multiplicity).
+func (c *Classifier) TrainSize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Groups returns the number of unique stored vectors.
+func (c *Classifier) Groups() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.groups
+}
+
+// Train implements ml.Classifier: it copies the training set into a
+// contiguous matrix of unique vectors with per-label multiplicities.
+// KNN "training" is exactly this storage step, which is why the paper
+// measures it in fractions of a second.
+func (c *Classifier) Train(x [][]float32, y []job.Label) error {
+	if err := ml.CheckTrainingData(x, y); err != nil {
+		return err
+	}
+	dim := len(x[0])
+
+	type group struct {
+		first  int // row index of the representative vector
+		counts [2]int32
+	}
+	byHash := make(map[uint64][]int, len(x)) // hash -> group indices
+	groups := make([]group, 0, len(x)/4)
+	n := 0
+	for i, row := range x {
+		if y[i] == job.Unknown {
+			continue
+		}
+		n++
+		h := hashVec(row)
+		gi := -1
+		for _, g := range byHash[h] {
+			if equalVec(x[groups[g].first], row) {
+				gi = g
+				break
+			}
+		}
+		if gi < 0 {
+			gi = len(groups)
+			groups = append(groups, group{first: i})
+			byHash[h] = append(byHash[h], gi)
+		}
+		if y[i] == job.ComputeBound {
+			groups[gi].counts[1]++
+		} else {
+			groups[gi].counts[0]++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("knn: no labeled training rows")
+	}
+
+	data := make([]float32, 0, len(groups)*dim)
+	counts := make([][2]int32, len(groups))
+	for g, gr := range groups {
+		data = append(data, x[gr.first]...)
+		counts[g] = gr.counts
+	}
+
+	c.mu.Lock()
+	c.dim, c.n, c.groups, c.data, c.counts = dim, n, len(groups), data, counts
+	c.mu.Unlock()
+	return nil
+}
+
+// Predict implements ml.Classifier: a parallel brute-force scan over the
+// unique vectors with a bounded top-k selection per query, then majority
+// vote among the k nearest points (ties broken toward the nearest).
+func (c *Classifier) Predict(x [][]float32) ([]job.Label, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.n == 0 {
+		return nil, ml.ErrNotTrained
+	}
+	for i, v := range x {
+		if len(v) != c.dim {
+			return nil, fmt.Errorf("knn: query %d has dim %d, want %d", i, len(v), c.dim)
+		}
+	}
+	out := make([]job.Label, len(x))
+	parallelFor(len(x), func(i int) {
+		top := make([]neighbor, 0, c.cfg.K)
+		out[i] = c.predictOne(x[i], top)
+	})
+	return out, nil
+}
+
+// neighbor is one candidate group in the top-k selection.
+type neighbor struct {
+	dist  float64
+	group int
+}
+
+// predictOne finds the k nearest training points of q. Because every
+// group holds at least one point, the k nearest points are contained in
+// the k nearest groups, so a bounded top-k over groups suffices.
+func (c *Classifier) predictOne(q []float32, top []neighbor) job.Label {
+	k := c.cfg.K
+	if k > c.n {
+		k = c.n
+	}
+	kg := k
+	if kg > c.groups {
+		kg = c.groups
+	}
+	top = top[:0]
+	worst := math.Inf(1)
+	for g := 0; g < c.groups; g++ {
+		row := c.data[g*c.dim : (g+1)*c.dim]
+		var d float64
+		if c.cfg.P == 2 {
+			d = linalg.SqEuclidean(q, row) // monotone in the true distance
+		} else {
+			d = linalg.Minkowski(q, row, c.cfg.P)
+		}
+		if len(top) == kg && d >= worst {
+			continue
+		}
+		pos := len(top)
+		if len(top) < kg {
+			top = append(top, neighbor{})
+		}
+		for pos > 0 && top[pos-1].dist > d {
+			if pos < len(top) {
+				top[pos] = top[pos-1]
+			}
+			pos--
+		}
+		top[pos] = neighbor{dist: d, group: g}
+		worst = top[len(top)-1].dist
+	}
+
+	// Consume k votes walking the groups from nearest to farthest;
+	// within a group (equidistant duplicates) majority label first.
+	var votes [2]int
+	remaining := k
+	for _, nb := range top {
+		if remaining <= 0 {
+			break
+		}
+		cnt := c.counts[nb.group]
+		maj, min := 0, 1
+		if cnt[1] > cnt[0] {
+			maj, min = 1, 0
+		}
+		take := int(cnt[maj])
+		if take > remaining {
+			take = remaining
+		}
+		votes[maj] += take
+		remaining -= take
+		take = int(cnt[min])
+		if take > remaining {
+			take = remaining
+		}
+		votes[min] += take
+		remaining -= take
+	}
+	if votes[1] > votes[0] {
+		return job.ComputeBound
+	}
+	if votes[0] > votes[1] {
+		return job.MemoryBound
+	}
+	// Exact tie: side with the nearest group's majority.
+	cnt := c.counts[top[0].group]
+	if cnt[1] > cnt[0] {
+		return job.ComputeBound
+	}
+	return job.MemoryBound
+}
+
+// hashVec hashes a vector's raw bits (FNV-1a over the float32 words).
+func hashVec(v []float32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, f := range v {
+		b := math.Float32bits(f)
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalVec(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelFor runs f(i) for i in [0, n) across GOMAXPROCS workers.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+const marshalMagic = "MCBKNN02"
+
+// MarshalBinary serializes the trained model (encoding.BinaryMarshaler),
+// playing the role of the paper's skops model files.
+func (c *Classifier) MarshalBinary() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var buf bytes.Buffer
+	buf.WriteString(marshalMagic)
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(int64(c.cfg.K))
+	w(c.cfg.P)
+	w(int64(c.dim))
+	w(int64(c.n))
+	w(int64(c.groups))
+	w(c.data)
+	flat := make([]int32, 0, 2*len(c.counts))
+	for _, ct := range c.counts {
+		flat = append(flat, ct[0], ct[1])
+	}
+	w(flat)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model serialized by MarshalBinary.
+func (c *Classifier) UnmarshalBinary(b []byte) error {
+	buf := bytes.NewReader(b)
+	magic := make([]byte, len(marshalMagic))
+	if _, err := buf.Read(magic); err != nil || string(magic) != marshalMagic {
+		return fmt.Errorf("knn: bad model header")
+	}
+	var k, dim, n, groups int64
+	var p float64
+	r := func(v any) error { return binary.Read(buf, binary.LittleEndian, v) }
+	for _, v := range []any{&k, &p, &dim, &n, &groups} {
+		if err := r(v); err != nil {
+			return fmt.Errorf("knn: %w", err)
+		}
+	}
+	if k <= 0 || dim <= 0 || n < 0 || groups < 0 || groups*dim*4 > int64(len(b)) {
+		return fmt.Errorf("knn: corrupt model dimensions")
+	}
+	data := make([]float32, groups*dim)
+	if err := r(data); err != nil {
+		return fmt.Errorf("knn: %w", err)
+	}
+	flat := make([]int32, 2*groups)
+	if err := r(flat); err != nil {
+		return fmt.Errorf("knn: %w", err)
+	}
+	counts := make([][2]int32, groups)
+	for i := range counts {
+		counts[i] = [2]int32{flat[2*i], flat[2*i+1]}
+	}
+	c.mu.Lock()
+	c.cfg = Config{K: int(k), P: p}
+	c.dim, c.n, c.groups, c.data, c.counts = int(dim), int(n), int(groups), data, counts
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,148 @@
+package knn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mcbound/internal/ml"
+)
+
+func TestRegressorExactNeighbors(t *testing.T) {
+	r := NewRegressor(Config{K: 1, P: 2})
+	x := [][]float32{{0, 0}, {10, 10}}
+	y := []float64{100, 900}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.PredictValues([][]float32{{0.1, 0}, {9.8, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 100 || got[1] != 900 {
+		t.Errorf("preds = %v", got)
+	}
+}
+
+func TestRegressorAveragesKNeighbors(t *testing.T) {
+	r := NewRegressor(Config{K: 3, P: 2})
+	x := [][]float32{{0}, {1}, {2}, {100}}
+	y := []float64{10, 20, 30, 1000}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.PredictValues([][]float32{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-20) > 1e-9 {
+		t.Errorf("mean of 3 nearest = %g, want 20", got[0])
+	}
+}
+
+func TestRegressorGroupsDuplicates(t *testing.T) {
+	r := NewRegressor(Config{K: 5, P: 2})
+	// Five duplicates with different targets: prediction at the point
+	// must be the group mean.
+	x := [][]float32{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []float64{10, 20, 30, 40, 50}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r.TrainSize() != 5 {
+		t.Errorf("train size = %d", r.TrainSize())
+	}
+	got, err := r.PredictValues([][]float32{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-30) > 1e-9 {
+		t.Errorf("group mean = %g, want 30", got[0])
+	}
+}
+
+func TestRegressorPartialGroupConsumption(t *testing.T) {
+	// k=3: nearest group has 2 points (mean 10), next has 4 (mean 100);
+	// expect (2*10 + 1*100)/3 = 40.
+	r := NewRegressor(Config{K: 3, P: 2})
+	x := [][]float32{{0}, {0}, {5}, {5}, {5}, {5}}
+	y := []float64{10, 10, 100, 100, 100, 100}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.PredictValues([][]float32{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-40) > 1e-9 {
+		t.Errorf("partial consumption = %g, want 40", got[0])
+	}
+}
+
+func TestRegressorErrors(t *testing.T) {
+	r := NewRegressor(DefaultConfig())
+	if _, err := r.PredictValues([][]float32{{1}}); !errors.Is(err, ml.ErrNotTrained) {
+		t.Errorf("err = %v", err)
+	}
+	if err := r.Fit(nil, nil); !errors.Is(err, ml.ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if err := r.Fit([][]float32{{1}}, []float64{1, 2}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	if err := r.Fit([][]float32{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("accepted ragged matrix")
+	}
+	if err := r.Fit([][]float32{{1}}, []float64{math.NaN()}); err == nil {
+		t.Error("accepted NaN target")
+	}
+	if err := r.Fit([][]float32{{1}}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.PredictValues([][]float32{{1, 2}}); err == nil {
+		t.Error("accepted wrong query dim")
+	}
+}
+
+func TestRegressorName(t *testing.T) {
+	if NewRegressor(DefaultConfig()).Name() != "knn-regressor" {
+		t.Error("wrong name")
+	}
+}
+
+func TestRegressorMarshalRoundTrip(t *testing.T) {
+	r := NewRegressor(Config{K: 3, P: 2})
+	x := [][]float32{{0, 0}, {0, 0}, {5, 5}, {9, 9}}
+	y := []float64{10, 20, 300, 4000}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewRegressor(DefaultConfig())
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.TrainSize() != 4 {
+		t.Errorf("restored size = %d", restored.TrainSize())
+	}
+	queries := [][]float32{{0, 1}, {6, 6}}
+	a, err := r.PredictValues(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.PredictValues(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("prediction %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+	if err := restored.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("accepted garbage")
+	}
+}

@@ -1,0 +1,211 @@
+package online
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcbound/internal/job"
+	"mcbound/internal/stats"
+)
+
+var (
+	feb1 = time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	mar1 = time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Alpha: 30, Beta: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Alpha: 0, Beta: 1},
+		{Alpha: 30, Beta: 0},
+		{Alpha: 30, Beta: 1, Theta: -1},
+		{Alpha: 30, Beta: 1, Theta: 100}, // theta without a mode
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, p)
+		}
+	}
+}
+
+func TestScheduleDaily(t *testing.T) {
+	p := Params{Alpha: 15, Beta: 1}
+	triggers, err := Schedule(p, feb1, mar1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triggers) != 29 {
+		t.Fatalf("triggers = %d, want 29 (February 2024)", len(triggers))
+	}
+	first := triggers[0]
+	if !first.TrainStart.Equal(feb1.AddDate(0, 0, -15)) || !first.TrainEnd.Equal(feb1) {
+		t.Errorf("first training window [%v, %v)", first.TrainStart, first.TrainEnd)
+	}
+	if !first.InferStart.Equal(feb1) || !first.InferEnd.Equal(feb1.AddDate(0, 0, 1)) {
+		t.Errorf("first inference window [%v, %v)", first.InferStart, first.InferEnd)
+	}
+	last := triggers[28]
+	if !last.InferEnd.Equal(mar1) {
+		t.Errorf("last inference end = %v", last.InferEnd)
+	}
+}
+
+func TestScheduleBetaChunks(t *testing.T) {
+	p := Params{Alpha: 30, Beta: 10}
+	triggers, err := Schedule(p, feb1, mar1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triggers) != 3 {
+		t.Fatalf("triggers = %d, want 3 (10+10+9 days)", len(triggers))
+	}
+	if !triggers[2].InferEnd.Equal(mar1) {
+		t.Errorf("final window not clamped: %v", triggers[2].InferEnd)
+	}
+	if got := triggers[2].InferEnd.Sub(triggers[2].InferStart).Hours() / 24; got != 9 {
+		t.Errorf("final window = %g days, want 9", got)
+	}
+}
+
+func TestScheduleAlphaPlus(t *testing.T) {
+	p := Params{Alpha: 15, Beta: 1, AlphaPlus: true}
+	triggers, err := Schedule(p, feb1, mar1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := feb1.AddDate(0, 0, -15)
+	for i, tr := range triggers {
+		if !tr.TrainStart.Equal(fixed) {
+			t.Fatalf("trigger %d: α+ window start moved to %v", i, tr.TrainStart)
+		}
+	}
+	// The window end still advances.
+	if !triggers[5].TrainEnd.After(triggers[0].TrainEnd) {
+		t.Error("α+ window end does not grow")
+	}
+}
+
+func TestScheduleWindowInvariants(t *testing.T) {
+	f := func(alphaRaw, betaRaw uint8) bool {
+		p := Params{Alpha: int(alphaRaw%60) + 1, Beta: int(betaRaw%10) + 1}
+		triggers, err := Schedule(p, feb1, mar1)
+		if err != nil {
+			return false
+		}
+		prevEnd := feb1
+		for _, tr := range triggers {
+			if !tr.TrainEnd.Equal(tr.InferStart) {
+				return false // training window ends where inference begins
+			}
+			if !tr.InferStart.Equal(prevEnd) {
+				return false // no gaps and no overlaps
+			}
+			if !tr.TrainStart.Before(tr.TrainEnd) || !tr.InferStart.Before(tr.InferEnd) {
+				return false
+			}
+			prevEnd = tr.InferEnd
+		}
+		return prevEnd.Equal(mar1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(Params{Alpha: 0, Beta: 1}, feb1, mar1); err == nil {
+		t.Error("accepted bad params")
+	}
+	if _, err := Schedule(Params{Alpha: 15, Beta: 1}, mar1, feb1); err == nil {
+		t.Error("accepted reversed period")
+	}
+}
+
+func TestSubsampleLatest(t *testing.T) {
+	p := Params{Alpha: 30, Beta: 1, Theta: 3, ThetaMode: ThetaLatest}
+	idx := SubsampleIndices(p, 10, stats.NewRNG(1))
+	want := []int{7, 8, 9}
+	if len(idx) != 3 {
+		t.Fatalf("idx = %v", idx)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Errorf("latest indices = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestSubsampleRandom(t *testing.T) {
+	p := Params{Alpha: 30, Beta: 1, Theta: 5, ThetaMode: ThetaRandom}
+	idx := SubsampleIndices(p, 100, stats.NewRNG(2))
+	if len(idx) != 5 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 100 || seen[i] {
+			t.Fatalf("bad random sample %v", idx)
+		}
+		seen[i] = true
+	}
+	// Deterministic given the seed.
+	again := SubsampleIndices(p, 100, stats.NewRNG(2))
+	for i := range idx {
+		if idx[i] != again[i] {
+			t.Error("random subsample not reproducible from seed")
+		}
+	}
+}
+
+func TestSubsampleAllDataCases(t *testing.T) {
+	rng := stats.NewRNG(3)
+	if idx := SubsampleIndices(Params{Theta: 0}, 10, rng); idx != nil {
+		t.Error("θ=0 should return nil (use everything)")
+	}
+	p := Params{Theta: 20, ThetaMode: ThetaRandom}
+	if idx := SubsampleIndices(p, 10, rng); idx != nil {
+		t.Error("θ >= n should return nil")
+	}
+}
+
+func TestFilterLabeled(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: "a", TrueLabel: job.MemoryBound},
+		{ID: "b", TrueLabel: job.Unknown},
+		{ID: "c", TrueLabel: job.ComputeBound},
+	}
+	kept, labels := FilterLabeled(jobs)
+	if len(kept) != 2 || len(labels) != 2 {
+		t.Fatalf("kept %d", len(kept))
+	}
+	if kept[0].ID != "a" || kept[1].ID != "c" {
+		t.Errorf("kept = %v", kept)
+	}
+	if labels[0] != job.MemoryBound || labels[1] != job.ComputeBound {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestThetaModeString(t *testing.T) {
+	if ThetaAll.String() != "all" || ThetaRandom.String() != "random" || ThetaLatest.String() != "latest" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{Alpha: 30, Beta: 1}
+	if p.String() != "α=30 β=1" {
+		t.Errorf("String = %q", p.String())
+	}
+	p.AlphaPlus = true
+	p.Theta = 100
+	p.ThetaMode = ThetaRandom
+	s := p.String()
+	if s != "α⁺(30) β=1 θ=100(random)" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,193 @@
+package online
+
+import (
+	"fmt"
+	"time"
+
+	"mcbound/internal/encode"
+	"mcbound/internal/fetch"
+	"mcbound/internal/job"
+	"mcbound/internal/metrics"
+	"mcbound/internal/ml"
+	"mcbound/internal/roofline"
+	"mcbound/internal/stats"
+)
+
+// Runner replays the online prediction algorithm over a test period. It
+// owns a Data Fetcher, a Job Characterizer and either an encoded vector
+// model (Encoder + Model) or a raw job model (JobModel) such as the
+// lookup baseline.
+type Runner struct {
+	Fetcher       *fetch.Fetcher
+	Characterizer *roofline.Characterizer
+
+	// Vector-model path (KNN / RF): both must be set, JobModel nil.
+	Encoder *encode.Encoder
+	Model   ml.Classifier
+
+	// Raw-job path (baseline): set JobModel, leave Encoder/Model nil.
+	JobModel ml.JobClassifier
+}
+
+// Result aggregates prediction quality and runtime overhead over a run,
+// mirroring the quantities of Figs. 6–10.
+type Result struct {
+	ModelName string
+	Params    Params
+
+	// Quality, computed at the end of the test period over every
+	// prediction (the paper's evaluate script).
+	Confusion *metrics.Confusion
+	F1        float64
+
+	// Volume.
+	Retrainings  int
+	TestJobs     int
+	SkippedTruth int     // test jobs without characterizable ground truth
+	AvgTrainSize float64 // labeled training rows per retraining
+
+	// Runtime overhead. TrainTime excludes characterization and
+	// encoding (paper §V-B: encodings are reused across triggers);
+	// InferencePerJob includes encoding (it happens on the live path).
+	AvgTrainTime       time.Duration
+	AvgEncodePerJob    time.Duration
+	AvgCharacterizeJob time.Duration
+	AvgInferencePerJob time.Duration
+}
+
+// Run executes the schedule for params over [testStart, testEnd).
+func (r *Runner) Run(p Params, testStart, testEnd time.Time) (*Result, error) {
+	if err := r.check(); err != nil {
+		return nil, err
+	}
+	triggers, err := Schedule(p, testStart, testEnd)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(p.Seed)
+
+	res := &Result{ModelName: r.modelName(), Params: p, Confusion: metrics.NewConfusion()}
+	var trainTotal, encodeTotal, charTotal, inferTotal time.Duration
+	var encodeJobs, charJobs int
+	var trainRows int
+
+	for _, tr := range triggers {
+		// ---- Training Workflow ----
+		window, err := r.Fetcher.FetchExecuted(tr.TrainStart, tr.TrainEnd)
+		if err != nil {
+			return nil, fmt.Errorf("online: fetch training window: %w", err)
+		}
+		t0 := time.Now()
+		r.Characterizer.GenerateLabels(window)
+		charTotal += time.Since(t0)
+		charJobs += len(window)
+
+		labeledJobs, labels := FilterLabeled(window)
+		if idx := SubsampleIndices(p, len(labeledJobs), rng); idx != nil {
+			sj := make([]*job.Job, len(idx))
+			sl := make([]job.Label, len(idx))
+			for i, k := range idx {
+				sj[i], sl[i] = labeledJobs[k], labels[k]
+			}
+			labeledJobs, labels = sj, sl
+		}
+		if len(labeledJobs) == 0 {
+			return nil, fmt.Errorf("online: empty training window [%v, %v)", tr.TrainStart, tr.TrainEnd)
+		}
+		trainRows += len(labeledJobs)
+
+		if r.JobModel != nil {
+			t0 = time.Now()
+			if err := r.JobModel.TrainJobs(labeledJobs, labels); err != nil {
+				return nil, fmt.Errorf("online: train: %w", err)
+			}
+			trainTotal += time.Since(t0)
+		} else {
+			t0 = time.Now()
+			enc := r.Encoder.Encode(labeledJobs)
+			encodeTotal += time.Since(t0)
+			encodeJobs += len(labeledJobs)
+
+			t0 = time.Now()
+			if err := r.Model.Train(enc, labels); err != nil {
+				return nil, fmt.Errorf("online: train: %w", err)
+			}
+			trainTotal += time.Since(t0)
+		}
+		res.Retrainings++
+
+		// ---- Inference Workflow ----
+		submitted, err := r.Fetcher.FetchSubmitted(tr.InferStart, tr.InferEnd)
+		if err != nil {
+			return nil, fmt.Errorf("online: fetch inference window: %w", err)
+		}
+		if len(submitted) == 0 {
+			continue
+		}
+		var preds []job.Label
+		if r.JobModel != nil {
+			t0 = time.Now()
+			preds, err = r.JobModel.PredictJobs(submitted)
+			inferTotal += time.Since(t0)
+		} else {
+			t0 = time.Now()
+			enc := r.Encoder.Encode(submitted)
+			preds, err = r.Model.Predict(enc)
+			inferTotal += time.Since(t0)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("online: predict: %w", err)
+		}
+		res.TestJobs += len(submitted)
+
+		// Ground truth arrives when the jobs complete; the evaluate
+		// script reconciles predictions against it at period end.
+		for i, j := range submitted {
+			pt, err := r.Characterizer.Characterize(j)
+			if err != nil {
+				res.SkippedTruth++
+				continue
+			}
+			res.Confusion.Add(pt.Label, preds[i])
+		}
+	}
+
+	res.F1 = res.Confusion.F1Macro()
+	if res.Retrainings > 0 {
+		res.AvgTrainTime = trainTotal / time.Duration(res.Retrainings)
+		res.AvgTrainSize = float64(trainRows) / float64(res.Retrainings)
+	}
+	if encodeJobs > 0 {
+		res.AvgEncodePerJob = encodeTotal / time.Duration(encodeJobs)
+	}
+	if charJobs > 0 {
+		res.AvgCharacterizeJob = charTotal / time.Duration(charJobs)
+	}
+	if res.TestJobs > 0 {
+		res.AvgInferencePerJob = inferTotal / time.Duration(res.TestJobs)
+	}
+	return res, nil
+}
+
+func (r *Runner) check() error {
+	if r.Fetcher == nil {
+		return fmt.Errorf("online: nil fetcher")
+	}
+	if r.Characterizer == nil {
+		return fmt.Errorf("online: nil characterizer")
+	}
+	if r.JobModel != nil {
+		return nil
+	}
+	if r.Encoder == nil || r.Model == nil {
+		return fmt.Errorf("online: need Encoder+Model or JobModel")
+	}
+	return nil
+}
+
+func (r *Runner) modelName() string {
+	if r.JobModel != nil {
+		return r.JobModel.Name()
+	}
+	return r.Model.Name()
+}

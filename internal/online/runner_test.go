@@ -1,0 +1,171 @@
+package online
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mcbound/internal/encode"
+	"mcbound/internal/fetch"
+	"mcbound/internal/job"
+	"mcbound/internal/ml/baseline"
+	"mcbound/internal/ml/knn"
+	"mcbound/internal/roofline"
+	"mcbound/internal/store"
+)
+
+// handTrace builds a deterministic trace: app "memapp" is always
+// memory-bound, app "compapp" always compute-bound, 8 jobs of each per
+// day from January 1st through February 29th, 2024.
+func handTrace(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	seq := 0
+	mk := func(day int, name string, perfGF, bwGB float64) *job.Job {
+		submit := start.AddDate(0, 0, day).Add(time.Duration(seq%24) * time.Hour / 24)
+		durSec := 1800.0
+		nodes := 2
+		flops := perfGF * 1e9 * durSec * float64(nodes)
+		bytes := bwGB * 1e9 * durSec * float64(nodes)
+		j := &job.Job{
+			ID:             fmt.Sprintf("h%06d", seq),
+			User:           "u0001",
+			Name:           name,
+			Environment:    "gcc/12.2",
+			CoresRequested: 96,
+			NodesRequested: nodes,
+			NodesAllocated: nodes,
+			FreqRequested:  job.FreqNormal,
+			SubmitTime:     submit,
+			StartTime:      submit.Add(time.Minute),
+			EndTime:        submit.Add(time.Minute + 30*time.Minute),
+			Counters: job.PerfCounters{
+				Perf2: flops,
+				Perf4: bytes * job.CoresPerCMG / job.CacheLineBytes,
+			},
+		}
+		seq++
+		return j
+	}
+	for day := 0; day < 60; day++ {
+		for i := 0; i < 8; i++ {
+			// op = 1 (memory-bound) and op = 40 (compute-bound).
+			if err := st.Insert(mk(day, "memapp", 50, 50)); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Insert(mk(day, "compapp", 400, 10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return st
+}
+
+func newRunner(t *testing.T, st *store.Store) *Runner {
+	t.Helper()
+	f, err := fetch.New(fetch.StoreBackend{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Runner{
+		Fetcher:       f,
+		Characterizer: roofline.NewCharacterizer(roofline.ModelFor(job.FugakuSpec())),
+	}
+}
+
+func testPeriod() (time.Time, time.Time) {
+	return time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2024, 2, 15, 0, 0, 0, 0, time.UTC)
+}
+
+func TestRunnerKNNEndToEnd(t *testing.T) {
+	r := newRunner(t, handTrace(t))
+	r.Encoder = encode.NewEncoder(nil, nil)
+	r.Model = knn.New(knn.DefaultConfig())
+	start, end := testPeriod()
+	res, err := r.Run(Params{Alpha: 15, Beta: 1}, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F1 != 1 {
+		t.Errorf("F1 = %g on perfectly separable apps, want 1", res.F1)
+	}
+	if res.Retrainings != 14 {
+		t.Errorf("retrainings = %d, want 14", res.Retrainings)
+	}
+	if res.TestJobs != 14*16 {
+		t.Errorf("test jobs = %d, want %d", res.TestJobs, 14*16)
+	}
+	if res.AvgTrainSize != 15*16 {
+		t.Errorf("avg train size = %g, want %d", res.AvgTrainSize, 15*16)
+	}
+	if res.AvgInferencePerJob <= 0 || res.AvgTrainTime <= 0 || res.AvgEncodePerJob <= 0 {
+		t.Errorf("timings not measured: %+v", res)
+	}
+	if res.ModelName != "knn" {
+		t.Errorf("model name = %s", res.ModelName)
+	}
+}
+
+func TestRunnerBaselineEndToEnd(t *testing.T) {
+	r := newRunner(t, handTrace(t))
+	r.JobModel = baseline.New()
+	start, end := testPeriod()
+	res, err := r.Run(Params{Alpha: 15, Beta: 7}, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F1 != 1 {
+		t.Errorf("baseline F1 = %g, want 1 (names are fully informative)", res.F1)
+	}
+	if res.Retrainings != 2 {
+		t.Errorf("retrainings = %d, want 2 (14 days / β=7)", res.Retrainings)
+	}
+}
+
+func TestRunnerThetaSubsampling(t *testing.T) {
+	r := newRunner(t, handTrace(t))
+	r.Encoder = encode.NewEncoder(nil, nil)
+	r.Model = knn.New(knn.DefaultConfig())
+	start, end := testPeriod()
+	res, err := r.Run(Params{Alpha: 15, Beta: 1, Theta: 32, ThetaMode: ThetaRandom, Seed: 9}, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgTrainSize != 32 {
+		t.Errorf("θ-subsampled train size = %g, want 32", res.AvgTrainSize)
+	}
+	if res.F1 < 0.9 {
+		t.Errorf("F1 = %g (32 samples of a separable problem should be plenty)", res.F1)
+	}
+}
+
+func TestRunnerChecksWiring(t *testing.T) {
+	st := handTrace(t)
+	start, end := testPeriod()
+
+	r := newRunner(t, st)
+	if _, err := r.Run(Params{Alpha: 15, Beta: 1}, start, end); err == nil ||
+		!strings.Contains(err.Error(), "Encoder+Model or JobModel") {
+		t.Errorf("missing model wiring not caught: %v", err)
+	}
+
+	r = &Runner{}
+	if _, err := r.Run(Params{Alpha: 15, Beta: 1}, start, end); err == nil {
+		t.Error("nil fetcher not caught")
+	}
+}
+
+func TestRunnerEmptyWindowFails(t *testing.T) {
+	// A training window before the trace begins must produce a clear
+	// error rather than an untrained model.
+	r := newRunner(t, handTrace(t))
+	r.Encoder = encode.NewEncoder(nil, nil)
+	r.Model = knn.New(knn.DefaultConfig())
+	early := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := r.Run(Params{Alpha: 5, Beta: 1}, early, early.AddDate(0, 0, 3)); err == nil {
+		t.Error("empty training window did not fail")
+	}
+}

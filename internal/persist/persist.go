@@ -1,0 +1,162 @@
+// Package persist saves and loads trained Classification Model instances
+// to the file system with version bookkeeping — the role skops.io plays
+// in the paper's deployment: every Training Workflow trigger produces a
+// new model version, and the serving layer always loads the latest one.
+package persist
+
+import (
+	"encoding"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Model is what a saved object must implement: the binary round-trip
+// contract. Both knn.Classifier and rf.Classifier satisfy it.
+type Model interface {
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// Registry manages versioned model files under a directory. File layout:
+// <dir>/<name>-v<version>.model, with version a monotonically increasing
+// integer.
+type Registry struct {
+	dir string
+}
+
+// NewRegistry opens (creating if needed) a model registry rooted at dir.
+func NewRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &Registry{dir: dir}, nil
+}
+
+// Dir returns the registry root.
+func (r *Registry) Dir() string { return r.dir }
+
+// Save writes a new version of the named model and returns its version
+// number. The write is atomic (temp file + rename).
+func (r *Registry) Save(name string, m encoding.BinaryMarshaler) (int, error) {
+	if err := validName(name); err != nil {
+		return 0, err
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return 0, fmt.Errorf("persist: marshal %s: %w", name, err)
+	}
+	versions, err := r.Versions(name)
+	if err != nil {
+		return 0, err
+	}
+	next := 1
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	final := r.path(name, next)
+	tmp := final + fmt.Sprintf(".tmp-%d", time.Now().UnixNano())
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	return next, nil
+}
+
+// LoadLatest reads the highest version of the named model into m and
+// returns the loaded version.
+func (r *Registry) LoadLatest(name string, m encoding.BinaryUnmarshaler) (int, error) {
+	versions, err := r.Versions(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(versions) == 0 {
+		return 0, fmt.Errorf("persist: no saved versions of %q", name)
+	}
+	v := versions[len(versions)-1]
+	return v, r.Load(name, v, m)
+}
+
+// Load reads a specific version of the named model into m.
+func (r *Registry) Load(name string, version int, m encoding.BinaryUnmarshaler) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(r.path(name, version))
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := m.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("persist: unmarshal %s v%d: %w", name, version, err)
+	}
+	return nil
+}
+
+// Versions lists the stored versions of a model, ascending.
+func (r *Registry) Versions(name string) ([]int, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	prefix := name + "-v"
+	var out []int
+	for _, e := range entries {
+		fn := e.Name()
+		if !strings.HasPrefix(fn, prefix) || !strings.HasSuffix(fn, ".model") {
+			continue
+		}
+		vs := strings.TrimSuffix(strings.TrimPrefix(fn, prefix), ".model")
+		v, err := strconv.Atoi(vs)
+		if err != nil || v <= 0 {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Prune deletes all but the newest keep versions of the named model.
+func (r *Registry) Prune(name string, keep int) error {
+	versions, err := r.Versions(name)
+	if err != nil {
+		return err
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	for _, v := range versions[:maxInt(0, len(versions)-keep)] {
+		if err := os.Remove(r.path(name, v)); err != nil {
+			return fmt.Errorf("persist: prune %s v%d: %w", name, v, err)
+		}
+	}
+	return nil
+}
+
+func (r *Registry) path(name string, version int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("%s-v%d.model", name, version))
+}
+
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\ \t\n") {
+		return fmt.Errorf("persist: invalid model name %q", name)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

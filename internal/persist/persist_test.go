@@ -1,0 +1,181 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcbound/internal/job"
+	"mcbound/internal/ml/knn"
+	"mcbound/internal/ml/rf"
+)
+
+func trainedKNN(t *testing.T) *knn.Classifier {
+	t.Helper()
+	c := knn.New(knn.DefaultConfig())
+	x := [][]float32{{0, 0}, {1, 1}}
+	y := []job.Label{job.MemoryBound, job.ComputeBound}
+	if err := c.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSaveLoadVersions(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedKNN(t)
+	v1, err := reg.Save("knn", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.Save("knn", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 || v2 != 2 {
+		t.Errorf("versions = %d, %d", v1, v2)
+	}
+	versions, err := reg.Versions("knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 || versions[0] != 1 || versions[1] != 2 {
+		t.Errorf("Versions = %v", versions)
+	}
+	restored := knn.New(knn.DefaultConfig())
+	v, err := reg.LoadLatest("knn", restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || restored.TrainSize() != 2 {
+		t.Errorf("loaded v%d, train size %d", v, restored.TrainSize())
+	}
+}
+
+func TestLoadSpecificVersion(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Save("m", trainedKNN(t)); err != nil {
+		t.Fatal(err)
+	}
+	restored := knn.New(knn.DefaultConfig())
+	if err := reg.Load("m", 1, restored); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("m", 9, restored); err == nil {
+		t.Error("loaded a version that does not exist")
+	}
+}
+
+func TestLoadLatestEmpty(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadLatest("never-saved", knn.New(knn.DefaultConfig())); err == nil {
+		t.Error("LoadLatest succeeded with no versions")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedKNN(t)
+	for i := 0; i < 5; i++ {
+		if _, err := reg.Save("knn", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Prune("knn", 2); err != nil {
+		t.Fatal(err)
+	}
+	versions, err := reg.Versions("knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 || versions[0] != 4 || versions[1] != 5 {
+		t.Errorf("after prune: %v", versions)
+	}
+	// Next save continues the sequence.
+	v, err := reg.Save("knn", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 6 {
+		t.Errorf("post-prune version = %d, want 6", v)
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "a/b", "a b", "a\tb"} {
+		if _, err := reg.Save(name, trainedKNN(t)); err == nil {
+			t.Errorf("accepted name %q", name)
+		}
+	}
+}
+
+func TestDifferentModelTypesCoexist(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Save("knn", trainedKNN(t)); err != nil {
+		t.Fatal(err)
+	}
+	forest := rf.New(rf.Config{NumTrees: 3})
+	x := [][]float32{{0, 0}, {1, 1}, {0.2, 0.1}, {0.9, 0.8}}
+	y := []job.Label{job.MemoryBound, job.ComputeBound, job.MemoryBound, job.ComputeBound}
+	if err := forest.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Save("rf", forest); err != nil {
+		t.Fatal(err)
+	}
+	// Loading the wrong type must fail on the magic header.
+	wrong := knn.New(knn.DefaultConfig())
+	if _, err := reg.LoadLatest("rf", wrong); err == nil {
+		t.Error("KNN loader accepted an RF model file")
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".model" {
+			t.Errorf("stray file %s", e.Name())
+		}
+	}
+}
+
+func TestVersionsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"knn-vx.model", "knn-v0.model", "other.txt", "knn-v2.notmodel"} {
+		if err := os.WriteFile(filepath.Join(dir, fn), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions, err := reg.Versions("knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 0 {
+		t.Errorf("foreign files counted as versions: %v", versions)
+	}
+}

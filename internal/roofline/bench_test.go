@@ -1,0 +1,38 @@
+package roofline
+
+import (
+	"testing"
+
+	"mcbound/internal/job"
+)
+
+// BenchmarkCharacterize measures the per-job labelling cost the paper
+// reports as ≈1 µs/job.
+func BenchmarkCharacterize(b *testing.B) {
+	c := NewCharacterizer(ModelFor(job.FugakuSpec()))
+	j := syntheticJob(120, 60, 1800, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Characterize(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateLabels measures the batch path the Training Workflow
+// takes over an α-day window.
+func BenchmarkGenerateLabels(b *testing.B) {
+	c := NewCharacterizer(ModelFor(job.FugakuSpec()))
+	jobs := make([]*job.Job, 10000)
+	for i := range jobs {
+		jobs[i] = syntheticJob(float64(10+i%500), 60, 1800, 1+i%8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labeled, _ := c.GenerateLabels(jobs)
+		if labeled == 0 {
+			b.Fatal("nothing labeled")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package roofline
+
+import (
+	"fmt"
+	"sort"
+
+	"mcbound/internal/job"
+)
+
+// This file implements the extension sketched in §III-C of the paper:
+// "by adding to the Roofline model the bandwidth of other hardware
+// components (e.g. cache, interconnect and GPUs) it is possible to
+// expand the Job Characterizer to create other labels for the job data,
+// such as interconnect-bound and GPU-bound."
+//
+// A MultiModel holds one compute roof plus any number of named bandwidth
+// roofs, each paired with a traffic extractor. A job is bound by the
+// resource whose roof it utilizes the most: utilization is the ratio of
+// the achieved rate (traffic / node-seconds) to that roof's peak, with
+// the compute roof measured in flops. This reduces to the classic
+// two-way model when only the memory roof is present.
+
+// Roof is one named bandwidth ceiling of the machine.
+type Roof struct {
+	// Name labels the binding resource ("memory", "interconnect", ...).
+	Name string
+	// PeakGBs is the per-node peak rate of the resource in GByte/s.
+	PeakGBs float64
+	// Traffic extracts the job's total bytes moved through this
+	// resource from its record.
+	Traffic func(j *job.Job) float64
+}
+
+// MultiModel is a Roofline with several bandwidth ceilings.
+type MultiModel struct {
+	PeakGFlops float64
+	Roofs      []Roof
+}
+
+// NewMultiModel validates and builds a multi-roof model.
+func NewMultiModel(peakGFlops float64, roofs []Roof) (*MultiModel, error) {
+	if peakGFlops <= 0 {
+		return nil, fmt.Errorf("roofline: peak performance must be positive, got %g", peakGFlops)
+	}
+	if len(roofs) == 0 {
+		return nil, fmt.Errorf("roofline: at least one bandwidth roof is required")
+	}
+	seen := map[string]bool{}
+	for i, r := range roofs {
+		if r.Name == "" || r.PeakGBs <= 0 || r.Traffic == nil {
+			return nil, fmt.Errorf("roofline: roof %d is incomplete", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("roofline: duplicate roof %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return &MultiModel{PeakGFlops: peakGFlops, Roofs: roofs}, nil
+}
+
+// FugakuMultiModel returns the Fugaku node with both its HBM2 memory
+// roof and its Tofu-D interconnect roof (28 Gbit/s injection per node ≈
+// 3.5 GByte/s, paper Table I).
+func FugakuMultiModel() *MultiModel {
+	spec := job.FugakuSpec()
+	m, err := NewMultiModel(spec.PeakGFlops, []Roof{
+		{
+			Name:    "memory",
+			PeakGBs: spec.PeakMemBWGBs,
+			Traffic: func(j *job.Job) float64 { return j.Counters.MovedBytes() },
+		},
+		{
+			Name:    "interconnect",
+			PeakGBs: spec.InterconnectGbps / 8,
+			Traffic: func(j *job.Job) float64 { return j.Counters.TofuBytes },
+		},
+	})
+	if err != nil {
+		panic("roofline: invalid built-in Fugaku multi-model: " + err.Error())
+	}
+	return m
+}
+
+// Utilization is one resource's share of its roof for a job.
+type Utilization struct {
+	Resource string  // roof name, or "compute"
+	Achieved float64 // achieved rate (GFlop/s or GByte/s per node)
+	Peak     float64
+	Fraction float64 // Achieved / Peak
+}
+
+// BoundBy characterizes a completed job against every roof and returns
+// the utilizations sorted descending by fraction; the first entry is the
+// binding resource. Roofs with zero recorded traffic are reported with
+// zero utilization (a job that never touches the interconnect cannot be
+// interconnect-bound).
+func (m *MultiModel) BoundBy(j *job.Job) ([]Utilization, error) {
+	if j.EndTime.IsZero() || j.StartTime.IsZero() {
+		return nil, fmt.Errorf("%w: job %s", ErrNotCompleted, j.ID)
+	}
+	dur := j.Duration().Seconds()
+	if dur <= 0 {
+		return nil, fmt.Errorf("%w: job %s", ErrZeroDuration, j.ID)
+	}
+	nodes := float64(j.NodesAllocated)
+	if nodes <= 0 {
+		return nil, fmt.Errorf("%w: job %s", ErrZeroNodes, j.ID)
+	}
+	nodeSec := dur * nodes
+
+	out := make([]Utilization, 0, len(m.Roofs)+1)
+	perfGF := j.Counters.Flops() / nodeSec / 1e9
+	out = append(out, Utilization{
+		Resource: "compute",
+		Achieved: perfGF,
+		Peak:     m.PeakGFlops,
+		Fraction: perfGF / m.PeakGFlops,
+	})
+	for _, r := range m.Roofs {
+		bw := r.Traffic(j) / nodeSec / 1e9
+		out = append(out, Utilization{
+			Resource: r.Name,
+			Achieved: bw,
+			Peak:     r.PeakGBs,
+			Fraction: bw / r.PeakGBs,
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Fraction > out[b].Fraction })
+	return out, nil
+}
+
+// BindingResource returns just the name of the dominating resource.
+func (m *MultiModel) BindingResource(j *job.Job) (string, error) {
+	utils, err := m.BoundBy(j)
+	if err != nil {
+		return "", err
+	}
+	return utils[0].Resource, nil
+}

@@ -1,0 +1,131 @@
+package roofline
+
+import (
+	"testing"
+
+	"mcbound/internal/job"
+)
+
+func TestNewMultiModelValidation(t *testing.T) {
+	traffic := func(j *job.Job) float64 { return 1 }
+	if _, err := NewMultiModel(0, []Roof{{Name: "m", PeakGBs: 1, Traffic: traffic}}); err == nil {
+		t.Error("accepted zero peak")
+	}
+	if _, err := NewMultiModel(100, nil); err == nil {
+		t.Error("accepted no roofs")
+	}
+	if _, err := NewMultiModel(100, []Roof{{Name: "", PeakGBs: 1, Traffic: traffic}}); err == nil {
+		t.Error("accepted unnamed roof")
+	}
+	if _, err := NewMultiModel(100, []Roof{{Name: "m", PeakGBs: 1, Traffic: nil}}); err == nil {
+		t.Error("accepted roof without traffic extractor")
+	}
+	dup := []Roof{
+		{Name: "m", PeakGBs: 1, Traffic: traffic},
+		{Name: "m", PeakGBs: 2, Traffic: traffic},
+	}
+	if _, err := NewMultiModel(100, dup); err == nil {
+		t.Error("accepted duplicate roof names")
+	}
+}
+
+func TestBoundByClassifiesAllThreeWays(t *testing.T) {
+	m := FugakuMultiModel()
+
+	// Memory-hog: high bandwidth, low flops, no communication.
+	memJob := syntheticJob(100, 600, 1800, 2) // 600 GB/s of 1024
+	got, err := m.BindingResource(memJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "memory" {
+		t.Errorf("memory-hog bound by %q", got)
+	}
+
+	// Compute-hog: near-peak flops, light traffic.
+	compJob := syntheticJob(3000, 50, 1800, 2) // 3000 of 3380 GFlop/s
+	if got, _ = m.BindingResource(compJob); got != "compute" {
+		t.Errorf("compute-hog bound by %q", got)
+	}
+
+	// Communication-hog: light on flops and memory, saturating Tofu.
+	commJob := syntheticJob(30, 40, 1800, 4)
+	commJob.Counters.TofuBytes = 3.0 * 1e9 * 1800 * 4 // 3.0 of 3.5 GB/s per node
+	if got, _ = m.BindingResource(commJob); got != "interconnect" {
+		t.Errorf("communication-hog bound by %q", got)
+	}
+}
+
+func TestBoundByOrderingAndFractions(t *testing.T) {
+	m := FugakuMultiModel()
+	j := syntheticJob(338, 102.4, 1800, 1) // 10% of both roofs
+	utils, err := m.BoundBy(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(utils) != 3 {
+		t.Fatalf("got %d utilizations", len(utils))
+	}
+	for i := 1; i < len(utils); i++ {
+		if utils[i].Fraction > utils[i-1].Fraction {
+			t.Error("utilizations not sorted descending")
+		}
+	}
+	for _, u := range utils {
+		if u.Fraction < 0 || u.Peak <= 0 {
+			t.Errorf("bad utilization %+v", u)
+		}
+	}
+	// No interconnect traffic recorded ⇒ its utilization must be zero
+	// and it must sort last.
+	if utils[len(utils)-1].Resource != "interconnect" || utils[len(utils)-1].Fraction != 0 {
+		t.Errorf("idle interconnect not last/zero: %+v", utils[len(utils)-1])
+	}
+}
+
+func TestBoundByErrors(t *testing.T) {
+	m := FugakuMultiModel()
+	j := syntheticJob(100, 50, 1800, 1)
+	j.EndTime = j.StartTime
+	if _, err := m.BoundBy(j); err == nil {
+		t.Error("accepted zero duration")
+	}
+	j = syntheticJob(100, 50, 1800, 1)
+	j.NodesAllocated = 0
+	if _, err := m.BoundBy(j); err == nil {
+		t.Error("accepted zero nodes")
+	}
+}
+
+func TestMultiModelAgreesWithTwoWayModel(t *testing.T) {
+	// With no interconnect traffic, the dominating roof of the
+	// multi-model must match the classic ridge-point classification.
+	m := FugakuMultiModel()
+	c := NewCharacterizer(ModelFor(job.FugakuSpec()))
+	cases := []struct {
+		perfGF, bwGB float64
+	}{
+		{50, 100},  // op 0.5, memory-bound
+		{1000, 10}, // op 100, compute-bound
+		{500, 400}, // op 1.25, memory-bound
+	}
+	for _, tc := range cases {
+		j := syntheticJob(tc.perfGF, tc.bwGB, 1800, 2)
+		pt, err := c.Characterize(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binding, err := m.BindingResource(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBinding := "memory"
+		if pt.Label == job.ComputeBound {
+			wantBinding = "compute"
+		}
+		if binding != wantBinding {
+			t.Errorf("perf %g bw %g: two-way %v vs multi-roof %q",
+				tc.perfGF, tc.bwGB, pt.Label, binding)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mcbound/internal/job"
+)
+
+// The co-scheduling simulator models the §I motivation: jobs that
+// saturate different resources can share a node productively, while two
+// memory-bound jobs sharing a node contend for bandwidth and slow down.
+// MCBound's predictions let a dispatcher pair complementary jobs at
+// submission time. As in the node-sharing studies the paper cites, the
+// simulation universe is the single-node jobs; larger allocations run
+// exclusively and are not modeled here.
+
+// PairingPolicy decides which jobs may share a node.
+type PairingPolicy int
+
+// Policies compared by the co-scheduling example.
+const (
+	// PolicyNone never shares nodes (the baseline dispatcher).
+	PolicyNone PairingPolicy = iota
+	// PolicyBlind pairs queued jobs in arrival order, classes ignored.
+	PolicyBlind
+	// PolicyComplementary pairs a memory-bound job only with a
+	// compute-bound one, using the predicted classes.
+	PolicyComplementary
+	// PolicyOracle pairs complementarily using the true classes: the
+	// upper bound a perfect classifier would reach.
+	PolicyOracle
+)
+
+// String names the policy.
+func (p PairingPolicy) String() string {
+	switch p {
+	case PolicyBlind:
+		return "blind-pairing"
+	case PolicyComplementary:
+		return "mcbound-pairing"
+	case PolicyOracle:
+		return "oracle-pairing"
+	default:
+		return "no-sharing"
+	}
+}
+
+// SlowdownModel gives the execution-time dilation when two jobs share a
+// node, by class pair. Factors follow the co-scheduling literature the
+// paper cites: same-resource pairs contend hard, complementary pairs
+// barely interfere.
+type SlowdownModel struct {
+	MemMem   float64 // two memory-bound jobs: bandwidth contention
+	CompComp float64 // two compute-bound jobs: core/FP contention
+	MemComp  float64 // complementary pair
+}
+
+// DefaultSlowdown returns contention factors consistent with the
+// bandwidth-utilization co-scheduling study [Breitbart et al.].
+func DefaultSlowdown() SlowdownModel {
+	return SlowdownModel{MemMem: 1.7, CompComp: 1.45, MemComp: 1.08}
+}
+
+// factor returns the dilation for a pair of (true) classes.
+func (m SlowdownModel) factor(a, b job.Label) float64 {
+	switch {
+	case a == job.MemoryBound && b == job.MemoryBound:
+		return m.MemMem
+	case a == job.ComputeBound && b == job.ComputeBound:
+		return m.CompComp
+	default:
+		return m.MemComp
+	}
+}
+
+// CoScheduleResult summarizes one simulated dispatch run over the
+// single-node job universe.
+type CoScheduleResult struct {
+	Policy      PairingPolicy
+	Jobs        int     // single-node jobs dispatched
+	PairedJobs  int     // jobs that shared a node
+	NodeSeconds float64 // total node-time consumed
+	AvgSlowdown float64 // mean per-job dilation factor
+	// SavedNodeSecs is the node-time saved versus running every job on
+	// its own node.
+	SavedNodeSecs float64
+}
+
+// NodeHours returns the consumed node-time in hours.
+func (r CoScheduleResult) NodeHours() float64 { return r.NodeSeconds / 3600 }
+
+// CoSchedule simulates dispatching the single-node jobs of a submission
+// stream under a pairing policy. Pairing decisions use the predicted
+// labels; the incurred slowdown uses the true labels (Job.TrueLabel,
+// filled by the characterizer) — a wrong prediction therefore costs real
+// contention, which is how prediction quality translates into
+// throughput.
+func CoSchedule(jobs []*job.Job, predicted []job.Label, policy PairingPolicy, m SlowdownModel) (CoScheduleResult, error) {
+	res := CoScheduleResult{Policy: policy}
+	if len(jobs) != len(predicted) {
+		return res, fmt.Errorf("sched: %d jobs vs %d predictions", len(jobs), len(predicted))
+	}
+
+	// The shareable universe, in submission order.
+	var singles []int
+	for i, j := range jobs {
+		if j.NodesAllocated == 1 {
+			singles = append(singles, i)
+		}
+	}
+	sort.SliceStable(singles, func(a, b int) bool {
+		return jobs[singles[a]].SubmitTime.Before(jobs[singles[b]].SubmitTime)
+	})
+	res.Jobs = len(singles)
+
+	decide := func(i int) job.Label {
+		if policy == PolicyOracle {
+			return trueLabel(jobs[i])
+		}
+		return predicted[i]
+	}
+
+	var soloSecs, slowSum float64
+	runSolo := func(i int) {
+		res.NodeSeconds += jobs[i].Duration().Seconds()
+		slowSum++
+	}
+	runPair := func(a, b int) {
+		f := m.factor(trueLabel(jobs[a]), trueLabel(jobs[b]))
+		da := time.Duration(float64(jobs[a].Duration()) * f).Seconds()
+		db := time.Duration(float64(jobs[b].Duration()) * f).Seconds()
+		longer := da
+		if db > longer {
+			longer = db
+		}
+		res.NodeSeconds += longer // one node runs both
+		res.PairedJobs += 2
+		slowSum += 2 * f
+	}
+
+	// Per-class waiting queues; blind pairing uses a single queue.
+	var queueMem, queueComp, queueAny []int
+	for _, i := range singles {
+		soloSecs += jobs[i].Duration().Seconds()
+		switch policy {
+		case PolicyNone:
+			runSolo(i)
+		case PolicyBlind:
+			if len(queueAny) > 0 {
+				p := queueAny[0]
+				queueAny = queueAny[1:]
+				runPair(p, i)
+			} else {
+				queueAny = append(queueAny, i)
+			}
+		default: // complementary / oracle
+			if decide(i) == job.ComputeBound {
+				if len(queueMem) > 0 {
+					p := queueMem[0]
+					queueMem = queueMem[1:]
+					runPair(p, i)
+				} else {
+					queueComp = append(queueComp, i)
+				}
+			} else {
+				if len(queueComp) > 0 {
+					p := queueComp[0]
+					queueComp = queueComp[1:]
+					runPair(p, i)
+				} else {
+					queueMem = append(queueMem, i)
+				}
+			}
+		}
+	}
+	for _, q := range [][]int{queueAny, queueMem, queueComp} {
+		for _, i := range q {
+			runSolo(i)
+		}
+	}
+
+	if res.Jobs > 0 {
+		res.AvgSlowdown = slowSum / float64(res.Jobs)
+	}
+	res.SavedNodeSecs = soloSecs - res.NodeSeconds
+	return res, nil
+}
+
+// trueLabel falls back to memory-bound when a job was never
+// characterized (conservative: assume contention).
+func trueLabel(j *job.Job) job.Label {
+	if j.TrueLabel == job.Unknown {
+		return job.MemoryBound
+	}
+	return j.TrueLabel
+}

@@ -1,0 +1,120 @@
+// Package sched contains the downstream consumers MCBound's predictions
+// feed (paper §V.C.d and §IV-C): a frequency-selection energy/impact
+// model derived from the Fugaku power-management study the paper cites
+// (Kodama et al., CLUSTER 2020), and a node-sharing co-scheduling
+// simulator for memory/compute-bound job pairs.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"mcbound/internal/job"
+)
+
+// ImpactFactors encode the paper's cited per-job effects of frequency
+// selection on Fugaku.
+type ImpactFactors struct {
+	// BoostSpeedup is the execution-time reduction of a compute-bound
+	// job run in boost instead of normal mode (paper: 10%).
+	BoostSpeedup float64
+	// NormalPowerSaving is the power reduction of a memory-bound job
+	// run in normal instead of boost mode (paper: 15%).
+	NormalPowerSaving float64
+	// AvgPowerW is the average per-job power draw used for the estimate
+	// (paper: 5000 W for the memory-bound boost population).
+	AvgPowerW float64
+}
+
+// PaperImpactFactors returns the constants of §V.C.d.
+func PaperImpactFactors() ImpactFactors {
+	return ImpactFactors{BoostSpeedup: 0.10, NormalPowerSaving: 0.15, AvgPowerW: 5000}
+}
+
+// FrequencyAdvice is the semi-automatic frequency-selection
+// recommendation for one job.
+type FrequencyAdvice struct {
+	JobID       string
+	Predicted   job.Label
+	Requested   job.Frequency
+	Recommended job.Frequency
+	// Reason explains the recommendation in the paper's terms.
+	Reason string
+}
+
+// Advise recommends the frequency mode implied by a job's predicted
+// class: normal mode for memory-bound jobs (same performance, lower
+// power), boost mode for compute-bound jobs (shorter runs).
+func Advise(j *job.Job, predicted job.Label) FrequencyAdvice {
+	a := FrequencyAdvice{JobID: j.ID, Predicted: predicted, Requested: j.FreqRequested}
+	switch predicted {
+	case job.MemoryBound:
+		a.Recommended = job.FreqNormal
+		if j.FreqRequested == job.FreqBoost {
+			a.Reason = "memory-bound: bottleneck is bandwidth, normal mode saves power at equal performance"
+		} else {
+			a.Reason = "memory-bound: already in normal mode"
+		}
+	case job.ComputeBound:
+		a.Recommended = job.FreqBoost
+		if j.FreqRequested == job.FreqNormal {
+			a.Reason = "compute-bound: boost mode shortens execution"
+		} else {
+			a.Reason = "compute-bound: already in boost mode"
+		}
+	default:
+		a.Recommended = j.FreqRequested
+		a.Reason = "unknown class: keep the user's choice"
+	}
+	return a
+}
+
+// ImpactEstimate aggregates the system-level savings of applying the
+// advice to a population of (job, predicted class) pairs — the §V.C.d
+// back-of-envelope, computed from actual job records instead of round
+// numbers.
+type ImpactEstimate struct {
+	// Memory-bound jobs observed in boost mode → normal mode.
+	MemBoostJobs     int
+	PowerSavedWAvg   float64 // per-job average power saving, W
+	PowerSavedWTotal float64 // summed across jobs, W
+	EnergySavedJ     float64 // total energy saved, J
+	// Compute-bound jobs observed in normal mode → boost mode.
+	CompNormalJobs  int
+	TimeSavedPerJob time.Duration // average per-job time saving
+	TimeSavedTotal  time.Duration // summed node-independent compute time saved
+}
+
+// EstimateImpact applies the factors to every job whose predicted class
+// disagrees with its requested frequency mode. Jobs' real durations are
+// used; power is the model's AvgPowerW (per-job power metering is not
+// part of the trace, exactly as in the paper's estimate).
+func EstimateImpact(jobs []*job.Job, predicted []job.Label, f ImpactFactors) (ImpactEstimate, error) {
+	var est ImpactEstimate
+	if len(jobs) != len(predicted) {
+		return est, fmt.Errorf("sched: %d jobs vs %d predictions", len(jobs), len(predicted))
+	}
+	var energy float64
+	var timeSaved time.Duration
+	for i, j := range jobs {
+		switch {
+		case predicted[i] == job.MemoryBound && j.FreqRequested == job.FreqBoost:
+			est.MemBoostJobs++
+			saveW := f.AvgPowerW * f.NormalPowerSaving
+			est.PowerSavedWTotal += saveW
+			energy += saveW * j.Duration().Seconds()
+		case predicted[i] == job.ComputeBound && j.FreqRequested == job.FreqNormal:
+			est.CompNormalJobs++
+			timeSaved += time.Duration(float64(j.Duration()) * f.BoostSpeedup)
+		}
+	}
+	est.EnergySavedJ = energy
+	est.TimeSavedTotal = timeSaved
+	if est.MemBoostJobs > 0 {
+		est.PowerSavedWAvg = est.PowerSavedWTotal / float64(est.MemBoostJobs)
+	}
+	if est.CompNormalJobs > 0 {
+		est.TimeSavedPerJob = timeSaved / time.Duration(est.CompNormalJobs)
+	}
+	return est, nil
+}

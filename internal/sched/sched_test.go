@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mcbound/internal/job"
+)
+
+func mkJob(id string, nodes int, durMin int, freq job.Frequency, label job.Label) *job.Job {
+	submit := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	return &job.Job{
+		ID:             id,
+		Name:           id,
+		NodesAllocated: nodes,
+		NodesRequested: nodes,
+		FreqRequested:  freq,
+		SubmitTime:     submit,
+		StartTime:      submit,
+		EndTime:        submit.Add(time.Duration(durMin) * time.Minute),
+		TrueLabel:      label,
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	memBoost := mkJob("a", 1, 60, job.FreqBoost, job.MemoryBound)
+	a := Advise(memBoost, job.MemoryBound)
+	if a.Recommended != job.FreqNormal {
+		t.Errorf("memory-bound advice = %v", a.Recommended)
+	}
+	compNormal := mkJob("b", 1, 60, job.FreqNormal, job.ComputeBound)
+	a = Advise(compNormal, job.ComputeBound)
+	if a.Recommended != job.FreqBoost {
+		t.Errorf("compute-bound advice = %v", a.Recommended)
+	}
+	a = Advise(memBoost, job.Unknown)
+	if a.Recommended != memBoost.FreqRequested {
+		t.Errorf("unknown class advice = %v, want the user's choice", a.Recommended)
+	}
+}
+
+func TestEstimateImpactKnownValues(t *testing.T) {
+	f := PaperImpactFactors()
+	jobs := []*job.Job{
+		mkJob("m1", 1, 100, job.FreqBoost, job.MemoryBound),   // 6000 s
+		mkJob("c1", 1, 225, job.FreqNormal, job.ComputeBound), // 13500 s
+		mkJob("ok", 1, 60, job.FreqNormal, job.MemoryBound),   // already right
+	}
+	preds := []job.Label{job.MemoryBound, job.ComputeBound, job.MemoryBound}
+	est, err := EstimateImpact(jobs, preds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MemBoostJobs != 1 || est.CompNormalJobs != 1 {
+		t.Fatalf("counts = %d/%d", est.MemBoostJobs, est.CompNormalJobs)
+	}
+	// The paper's per-job numbers: 5000 W * 15% = 750 W saved; energy
+	// = 750 W * 6000 s = 4.5 MJ; boost saves 10% of 13500 s = 1350 s
+	// (~22.5 minutes — "around 20 minutes of computation per job").
+	if math.Abs(est.PowerSavedWAvg-750) > 1e-9 {
+		t.Errorf("power saved = %g W, want 750", est.PowerSavedWAvg)
+	}
+	if math.Abs(est.EnergySavedJ-4.5e6) > 1e-3 {
+		t.Errorf("energy = %g J, want 4.5e6", est.EnergySavedJ)
+	}
+	if est.TimeSavedPerJob != 1350*time.Second {
+		t.Errorf("time saved = %v, want 22m30s", est.TimeSavedPerJob)
+	}
+}
+
+func TestEstimateImpactMismatch(t *testing.T) {
+	if _, err := EstimateImpact([]*job.Job{mkJob("a", 1, 1, job.FreqNormal, job.MemoryBound)}, nil, PaperImpactFactors()); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+// mixedStream builds n/2 memory-bound and n/2 compute-bound single-node
+// jobs with equal durations, alternating in submission order.
+func mixedStream(n, durMin int) ([]*job.Job, []job.Label) {
+	var jobs []*job.Job
+	var preds []job.Label
+	for i := 0; i < n; i++ {
+		label := job.MemoryBound
+		if i%2 == 1 {
+			label = job.ComputeBound
+		}
+		j := mkJob(string(rune('a'+i%26))+string(rune('0'+i/26)), 1, durMin, job.FreqNormal, label)
+		j.SubmitTime = j.SubmitTime.Add(time.Duration(i) * time.Minute)
+		jobs = append(jobs, j)
+		preds = append(preds, label) // perfect predictions
+	}
+	return jobs, preds
+}
+
+func TestCoScheduleNoSharing(t *testing.T) {
+	jobs, preds := mixedStream(10, 60)
+	res, err := CoSchedule(jobs, preds, PolicyNone, DefaultSlowdown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PairedJobs != 0 || res.AvgSlowdown != 1 {
+		t.Errorf("no-sharing paired %d, slowdown %g", res.PairedJobs, res.AvgSlowdown)
+	}
+	if res.NodeSeconds != 10*3600 {
+		t.Errorf("node seconds = %g", res.NodeSeconds)
+	}
+	if res.SavedNodeSecs != 0 {
+		t.Errorf("saved = %g", res.SavedNodeSecs)
+	}
+}
+
+func TestCoScheduleComplementarySavesNodes(t *testing.T) {
+	m := DefaultSlowdown()
+	jobs, preds := mixedStream(100, 60)
+	comp, err := CoSchedule(jobs, preds, PolicyComplementary, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.PairedJobs != 100 {
+		t.Errorf("paired = %d, want all 100", comp.PairedJobs)
+	}
+	// Every pair: one node for max(60, 60)*1.08 min instead of two
+	// nodes for 60 min each → saving per pair = 120 - 64.8 min.
+	wantSaved := 50 * (120 - 60*m.MemComp) * 60
+	if math.Abs(comp.SavedNodeSecs-wantSaved) > 1 {
+		t.Errorf("saved = %g node-s, want %g", comp.SavedNodeSecs, wantSaved)
+	}
+	if math.Abs(comp.AvgSlowdown-m.MemComp) > 1e-9 {
+		t.Errorf("avg slowdown = %g, want %g", comp.AvgSlowdown, m.MemComp)
+	}
+}
+
+func TestCoScheduleBlindPaysContention(t *testing.T) {
+	m := DefaultSlowdown()
+	// All memory-bound: blind pairing must *lose* node time.
+	var jobs []*job.Job
+	var preds []job.Label
+	for i := 0; i < 20; i++ {
+		j := mkJob(string(rune('a'+i)), 1, 60, job.FreqNormal, job.MemoryBound)
+		j.SubmitTime = j.SubmitTime.Add(time.Duration(i) * time.Minute)
+		jobs = append(jobs, j)
+		preds = append(preds, job.MemoryBound)
+	}
+	blind, err := CoSchedule(jobs, preds, PolicyBlind, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sharing a node still reduces node-time (the factor is < 2), but
+	// every job dilates by the full mem+mem contention factor — the
+	// throughput win is bought with 1.7x turnaround.
+	if math.Abs(blind.AvgSlowdown-m.MemMem) > 1e-9 {
+		t.Errorf("blind mem+mem slowdown = %g, want %g", blind.AvgSlowdown, m.MemMem)
+	}
+	// Complementary policy must refuse to pair same-class jobs.
+	comp, err := CoSchedule(jobs, preds, PolicyComplementary, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.PairedJobs != 0 {
+		t.Errorf("complementary paired %d same-class jobs", comp.PairedJobs)
+	}
+}
+
+func TestCoScheduleWrongPredictionsCost(t *testing.T) {
+	m := DefaultSlowdown()
+	jobs, _ := mixedStream(100, 60)
+	// Mispredict a quarter of the memory-bound jobs as compute-bound:
+	// the dispatcher then pairs two true-memory jobs believing the pair
+	// is complementary, and pays the mem+mem contention for real.
+	wrong := rightPreds(jobs)
+	for i, j := range jobs {
+		if j.TrueLabel == job.MemoryBound && i%8 == 0 {
+			wrong[i] = job.ComputeBound
+		}
+	}
+	right, err := CoSchedule(jobs, rightPreds(jobs), PolicyComplementary, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := CoSchedule(jobs, wrong, PolicyComplementary, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.AvgSlowdown <= right.AvgSlowdown {
+		t.Errorf("wrong predictions did not increase slowdown: %g vs %g",
+			bad.AvgSlowdown, right.AvgSlowdown)
+	}
+}
+
+func rightPreds(jobs []*job.Job) []job.Label {
+	out := make([]job.Label, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.TrueLabel
+	}
+	return out
+}
+
+func TestCoScheduleMultiNodeExcluded(t *testing.T) {
+	jobs := []*job.Job{
+		mkJob("big", 64, 60, job.FreqNormal, job.MemoryBound),
+		mkJob("s1", 1, 60, job.FreqNormal, job.MemoryBound),
+		mkJob("s2", 1, 60, job.FreqNormal, job.ComputeBound),
+	}
+	preds := rightPreds(jobs)
+	res, err := CoSchedule(jobs, preds, PolicyComplementary, DefaultSlowdown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 2 {
+		t.Errorf("single-node universe = %d, want 2", res.Jobs)
+	}
+	if res.PairedJobs != 2 {
+		t.Errorf("paired = %d", res.PairedJobs)
+	}
+}
+
+func TestCoSchedulePolicyNames(t *testing.T) {
+	names := map[PairingPolicy]string{
+		PolicyNone:          "no-sharing",
+		PolicyBlind:         "blind-pairing",
+		PolicyComplementary: "mcbound-pairing",
+		PolicyOracle:        "oracle-pairing",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestCoScheduleMismatch(t *testing.T) {
+	jobs, _ := mixedStream(4, 10)
+	if _, err := CoSchedule(jobs, nil, PolicyNone, DefaultSlowdown()); err == nil {
+		t.Error("accepted mismatched predictions")
+	}
+}

@@ -1,0 +1,155 @@
+// Package simulate replays the MCBound deployment loop of §III-E
+// offline: a virtual clock advances through a historical period, a
+// cron-equivalent re-triggers the Training Workflow every β days, and
+// the Inference Workflow classifies the jobs accumulated in between —
+// the exact sequence the deploy script + cronjob produce on a live
+// system, but deterministic and as fast as the components allow.
+//
+// Where online.Runner exists to *evaluate* the algorithm (it tracks
+// ground truth and timing for the paper's experiments), Replay exercises
+// the deployed Framework facade itself — the same code path the HTTP
+// backend serves — and records an operational timeline.
+package simulate
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mcbound/internal/core"
+)
+
+// EventKind tags a timeline entry.
+type EventKind string
+
+// The two workflow kinds of paper Fig. 1.
+const (
+	EventTrain EventKind = "train"
+	EventInfer EventKind = "infer"
+)
+
+// Event is one workflow trigger in the replay.
+type Event struct {
+	Time time.Time
+	Kind EventKind
+
+	// Training fields.
+	TrainedOn    int // labeled jobs in the window
+	ModelVersion int
+	TrainTime    time.Duration
+
+	// Inference fields.
+	Classified  int
+	MemoryBound int
+}
+
+// Timeline is the ordered record of a replay.
+type Timeline struct {
+	Events []Event
+}
+
+// Trainings and Inferences count the events by kind.
+func (tl *Timeline) Trainings() int  { return tl.count(EventTrain) }
+func (tl *Timeline) Inferences() int { return tl.count(EventInfer) }
+
+func (tl *Timeline) count(k EventKind) int {
+	n := 0
+	for _, e := range tl.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalClassified sums the classified jobs across inference triggers.
+func (tl *Timeline) TotalClassified() int {
+	n := 0
+	for _, e := range tl.Events {
+		n += e.Classified
+	}
+	return n
+}
+
+// Replay drives a deployed Framework through a period.
+type Replay struct {
+	// Framework is the deployed instance (its Config.Beta sets the
+	// cron period; Config.Alpha the training window).
+	Framework *core.Framework
+
+	// Log, when non-nil, receives one line per workflow trigger.
+	Log io.Writer
+}
+
+// Run replays [start, end): an initial Training Workflow at start (the
+// deploy script), then alternating inference-over-the-last-β-days and
+// retraining, until the period is exhausted.
+func (r *Replay) Run(start, end time.Time) (*Timeline, error) {
+	if r.Framework == nil {
+		return nil, fmt.Errorf("simulate: nil framework")
+	}
+	if !end.After(start) {
+		return nil, fmt.Errorf("simulate: end %v not after start %v", end, start)
+	}
+	beta := r.Framework.Config().Beta
+	tl := &Timeline{}
+
+	train := func(now time.Time) error {
+		rep, err := r.Framework.Train(now)
+		if err != nil {
+			return fmt.Errorf("simulate: training at %v: %w", now, err)
+		}
+		tl.Events = append(tl.Events, Event{
+			Time: now, Kind: EventTrain,
+			TrainedOn: rep.LabeledJobs, ModelVersion: rep.ModelVersion,
+			TrainTime: rep.TrainDuration,
+		})
+		r.logf("%s train: window [%s, %s) %d jobs, %v",
+			now.Format("2006-01-02"), rep.WindowStart.Format("01-02"),
+			rep.WindowEnd.Format("01-02"), rep.LabeledJobs, rep.TrainDuration.Round(time.Millisecond))
+		return nil
+	}
+
+	// Initial deployment.
+	if err := train(start); err != nil {
+		return nil, err
+	}
+
+	for now := start; now.Before(end); now = now.AddDate(0, 0, beta) {
+		windowEnd := now.AddDate(0, 0, beta)
+		if windowEnd.After(end) {
+			windowEnd = end
+		}
+		preds, err := r.Framework.ClassifySubmitted(now, windowEnd)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: inference at %v: %w", now, err)
+		}
+		mem := 0
+		for _, p := range preds {
+			if p.Class == "memory-bound" {
+				mem++
+			}
+		}
+		tl.Events = append(tl.Events, Event{
+			Time: now, Kind: EventInfer,
+			Classified: len(preds), MemoryBound: mem,
+		})
+		r.logf("%s infer: %d jobs classified (%d memory-bound)",
+			now.Format("2006-01-02"), len(preds), mem)
+
+		// Cron fires at the end of the β window (skip past the period).
+		if windowEnd.Before(end) {
+			if err := train(windowEnd); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tl, nil
+}
+
+func (r *Replay) logf(format string, args ...any) {
+	if r.Log == nil {
+		return
+	}
+	fmt.Fprintf(r.Log, format+"\n", args...)
+}

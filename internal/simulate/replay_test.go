@@ -1,0 +1,154 @@
+package simulate
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mcbound/internal/core"
+	"mcbound/internal/fetch"
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+// replayStore seeds 40 days of two-app jobs starting January 1st, 2024.
+func replayStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	seq := 0
+	for day := 0; day < 40; day++ {
+		for i := 0; i < 4; i++ {
+			for _, app := range []struct {
+				name         string
+				perfGF, bwGB float64
+			}{
+				{"memapp", 60, 60},
+				{"compapp", 500, 10},
+			} {
+				submit := start.AddDate(0, 0, day).Add(time.Duration(i) * time.Hour)
+				durSec := 1200.0
+				err := st.Insert(&job.Job{
+					ID:             fmt.Sprintf("r%05d", seq),
+					User:           "u0001",
+					Name:           app.name,
+					Environment:    "gcc/12.2",
+					CoresRequested: 48,
+					NodesRequested: 1,
+					NodesAllocated: 1,
+					FreqRequested:  job.FreqNormal,
+					SubmitTime:     submit,
+					StartTime:      submit.Add(time.Minute),
+					EndTime:        submit.Add(21 * time.Minute),
+					Counters: job.PerfCounters{
+						Perf2: app.perfGF * 1e9 * durSec,
+						Perf4: app.bwGB * 1e9 * durSec * job.CoresPerCMG / job.CacheLineBytes,
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq++
+			}
+		}
+	}
+	return st
+}
+
+func TestReplayTimeline(t *testing.T) {
+	st := replayStore(t)
+	cfg := core.DefaultConfig()
+	cfg.Alpha, cfg.Beta = 10, 2
+	fw, err := core.New(cfg, fetch.StoreBackend{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	r := &Replay{Framework: fw, Log: &logBuf}
+
+	start := time.Date(2024, 1, 15, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC)
+	tl, err := r.Run(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 10 days at β=2: 5 inference windows; initial training + a retrain
+	// after each window except the one touching end.
+	if got := tl.Inferences(); got != 5 {
+		t.Errorf("inferences = %d, want 5", got)
+	}
+	if got := tl.Trainings(); got != 5 {
+		t.Errorf("trainings = %d, want 5 (initial + 4 cron)", got)
+	}
+	// Every job submitted in the period must be classified exactly once.
+	if got := tl.TotalClassified(); got != 10*8 {
+		t.Errorf("classified %d jobs, want 80", got)
+	}
+	// The two apps are balanced, so roughly half memory-bound.
+	mem := 0
+	for _, e := range tl.Events {
+		if e.Kind == EventInfer {
+			mem += e.MemoryBound
+		}
+	}
+	if mem != 40 {
+		t.Errorf("memory-bound predictions = %d, want 40", mem)
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Time.Before(tl.Events[i-1].Time) {
+			t.Fatal("timeline out of order")
+		}
+	}
+	if !strings.Contains(logBuf.String(), "train: window") || !strings.Contains(logBuf.String(), "infer:") {
+		t.Error("log output missing workflow lines")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	r := &Replay{}
+	now := time.Now()
+	if _, err := r.Run(now, now.Add(time.Hour)); err == nil {
+		t.Error("accepted nil framework")
+	}
+	st := replayStore(t)
+	fw, err := core.New(core.DefaultConfig(), fetch.StoreBackend{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &Replay{Framework: fw}
+	if _, err := r.Run(now, now); err == nil {
+		t.Error("accepted empty period")
+	}
+}
+
+func TestReplayModelVersionsAdvance(t *testing.T) {
+	st := replayStore(t)
+	cfg := core.DefaultConfig()
+	cfg.Alpha, cfg.Beta = 10, 3
+	cfg.ModelDir = t.TempDir()
+	fw, err := core.New(cfg, fetch.StoreBackend{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Replay{Framework: fw}
+	start := time.Date(2024, 1, 15, 0, 0, 0, 0, time.UTC)
+	tl, err := r.Run(start, start.AddDate(0, 0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var versions []int
+	for _, e := range tl.Events {
+		if e.Kind == EventTrain {
+			versions = append(versions, e.ModelVersion)
+		}
+	}
+	for i, v := range versions {
+		if v != i+1 {
+			t.Fatalf("versions = %v, want 1,2,...", versions)
+		}
+	}
+}

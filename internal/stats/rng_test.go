@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			t.Fatalf("split streams collided at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %g, want ≈0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(2)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("Intn never produced %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(3)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Norm mean = %g, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Norm variance = %g, want ≈1", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(4)
+	const n, mean = 200000, 7.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp produced negative %g", v)
+		}
+		sum += v
+	}
+	if got := sum / n; math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("Exp mean = %g, want ≈%g", got, mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(5)
+	for _, mean := range []float64{0.5, 3, 20, 200} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Errorf("Poisson(%g) mean = %g", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(6)
+	const n = 100000
+	below := 0
+	median := math.Exp(2.0)
+	for i := 0; i < n; i++ {
+		if r.LogNormal(2.0, 0.7) < median {
+			below++
+		}
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("LogNormal median fraction = %g, want ≈0.5", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(9)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("shuffle changed the multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(10)
+	z := NewZipf(r, 100, 1.1)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		v := z.Sample()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[70] {
+		t.Errorf("Zipf not skewed: c0=%d c10=%d c70=%d", counts[0], counts[10], counts[70])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(n=0) did not panic")
+		}
+	}()
+	NewZipf(r, 0, 1)
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %g", frac)
+	}
+}

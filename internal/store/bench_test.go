@@ -1,0 +1,57 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchStore(n int) *Store {
+	s := New()
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		_ = s.Insert(mkJob(fmt.Sprintf("b%06d", i), base.Add(time.Duration(i)*time.Minute), 30))
+	}
+	return s
+}
+
+// BenchmarkInsert measures ingest throughput.
+func BenchmarkInsert(b *testing.B) {
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Insert(mkJob(fmt.Sprintf("b%09d", i), base, 30)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutedBetween measures the α-window range scan the
+// Training Workflow issues (binary search over the completion index).
+func BenchmarkExecutedBetween(b *testing.B) {
+	s := benchStore(100000)
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	s.ExecutedBetween(base, base) // force the one-time sort
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := s.ExecutedBetween(base.Add(24*time.Hour), base.Add(48*time.Hour))
+		if len(got) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkSubmittedBetween measures the inference-trigger query.
+func BenchmarkSubmittedBetween(b *testing.B) {
+	s := benchStore(100000)
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got := s.SubmittedBetween(base.Add(24*time.Hour), base.Add(25*time.Hour))
+		if len(got) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package store implements the jobs data storage MCBound requires from
+// the host system: an indexed repository of job records answering the two
+// query shapes the Data Fetcher issues — lookup by job id and scan by
+// execution-time range. It stands in for Fugaku's relational database and
+// supports concurrent readers with streaming inserts, plus JSONL
+// persistence for offline exchange.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"mcbound/internal/job"
+)
+
+// Store is an in-memory, mutex-guarded job repository. Jobs are indexed
+// by ID and kept ordered by EndTime for range scans (the Training
+// Workflow queries by completion interval, matching the paper's
+// fetch(start_time, end_time)).
+type Store struct {
+	mu     sync.RWMutex
+	byID   map[string]*job.Job
+	byEnd  []*job.Job // completed jobs sorted by EndTime
+	sorted bool
+}
+
+// New returns an empty Store.
+func New() *Store {
+	return &Store{byID: make(map[string]*job.Job)}
+}
+
+// Insert adds jobs to the store. Inserting a job whose ID already exists
+// replaces the previous record (job records are updated when execution
+// completes and counters arrive).
+func (s *Store) Insert(jobs ...*job.Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range jobs {
+		if j.ID == "" {
+			return fmt.Errorf("store: job with empty id")
+		}
+		if old, ok := s.byID[j.ID]; ok {
+			wasCompleted := !old.EndTime.IsZero()
+			*old = *j // update in place so the byEnd index stays valid
+			if !old.EndTime.IsZero() && !wasCompleted {
+				s.byEnd = append(s.byEnd, old)
+			}
+			s.sorted = false
+			continue
+		}
+		s.byID[j.ID] = j
+		if !j.EndTime.IsZero() {
+			s.byEnd = append(s.byEnd, j)
+			s.sorted = false
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored jobs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// Get returns the job with the given ID, or an error if absent.
+func (s *Store) Get(id string) (*job.Job, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("store: job %q not found", id)
+	}
+	return j, nil
+}
+
+// ensureSorted re-sorts the completion index if needed. Callers must hold
+// the write lock or upgrade; we take the write lock internally.
+func (s *Store) ensureSorted() {
+	if s.sorted {
+		return
+	}
+	sort.Slice(s.byEnd, func(i, k int) bool {
+		return s.byEnd[i].EndTime.Before(s.byEnd[k].EndTime)
+	})
+	s.sorted = true
+}
+
+// ExecutedBetween returns all jobs whose EndTime lies in [start, end),
+// ordered by completion time. This is the query the Training Workflow
+// issues for its α-day window.
+func (s *Store) ExecutedBetween(start, end time.Time) []*job.Job {
+	s.mu.Lock()
+	s.ensureSorted()
+	idx := s.byEnd
+	s.mu.Unlock()
+
+	lo := sort.Search(len(idx), func(i int) bool { return !idx[i].EndTime.Before(start) })
+	hi := sort.Search(len(idx), func(i int) bool { return !idx[i].EndTime.Before(end) })
+	out := make([]*job.Job, hi-lo)
+	copy(out, idx[lo:hi])
+	return out
+}
+
+// SubmittedBetween returns all jobs whose SubmitTime lies in [start, end),
+// ordered by submission time. The Inference Workflow uses it to collect
+// the jobs accumulated since its last trigger.
+func (s *Store) SubmittedBetween(start, end time.Time) []*job.Job {
+	s.mu.RLock()
+	var out []*job.Job
+	for _, j := range s.byID {
+		if !j.SubmitTime.Before(start) && j.SubmitTime.Before(end) {
+			out = append(out, j)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].SubmitTime.Equal(out[k].SubmitTime) {
+			return out[i].ID < out[k].ID
+		}
+		return out[i].SubmitTime.Before(out[k].SubmitTime)
+	})
+	return out
+}
+
+// All returns every job ordered by submission time.
+func (s *Store) All() []*job.Job {
+	s.mu.RLock()
+	out := make([]*job.Job, 0, len(s.byID))
+	for _, j := range s.byID {
+		out = append(out, j)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].SubmitTime.Equal(out[k].SubmitTime) {
+			return out[i].ID < out[k].ID
+		}
+		return out[i].SubmitTime.Before(out[k].SubmitTime)
+	})
+	return out
+}
+
+// WriteJSONL streams every job to w as one JSON object per line, in
+// submission order.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for _, j := range s.All() {
+		if err := enc.Encode(j); err != nil {
+			return fmt.Errorf("store: encode job %s: %w", j.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads jobs from a JSONL stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Store, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		var j job.Job
+		if err := json.Unmarshal(sc.Bytes(), &j); err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", line, err)
+		}
+		if err := s.Insert(&j); err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	return s, nil
+}
+
+// SaveFile persists the store to path as JSONL.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteJSONL(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a JSONL store from path.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

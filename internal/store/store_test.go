@@ -1,0 +1,239 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcbound/internal/job"
+)
+
+func mkJob(id string, submit time.Time, durMin int) *job.Job {
+	j := &job.Job{
+		ID:             id,
+		User:           "u0001",
+		Name:           "test_job",
+		Environment:    "gcc/12.2",
+		CoresRequested: 48,
+		NodesRequested: 1,
+		NodesAllocated: 1,
+		FreqRequested:  job.FreqNormal,
+		SubmitTime:     submit,
+	}
+	if durMin > 0 {
+		j.StartTime = submit.Add(time.Minute)
+		j.EndTime = j.StartTime.Add(time.Duration(durMin) * time.Minute)
+	}
+	return j
+}
+
+var t0 = time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+
+func TestInsertAndGet(t *testing.T) {
+	s := New()
+	j := mkJob("a", t0, 10)
+	if err := s.Insert(j); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "a" {
+		t.Errorf("got %s", got.ID)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Error("Get of missing id succeeded")
+	}
+	if err := s.Insert(&job.Job{}); err == nil {
+		t.Error("Insert accepted empty id")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestInsertReplaceUpdatesIndexes(t *testing.T) {
+	s := New()
+	// First insert: submitted only (no end time).
+	pending := mkJob("a", t0, 0)
+	if err := s.Insert(pending); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ExecutedBetween(t0, t0.AddDate(0, 1, 0)); len(got) != 0 {
+		t.Fatalf("pending job appeared in executed index: %d", len(got))
+	}
+	// Completion record arrives: same ID, now with execution data.
+	done := mkJob("a", t0, 30)
+	if err := s.Insert(done); err != nil {
+		t.Fatal(err)
+	}
+	got := s.ExecutedBetween(t0, t0.AddDate(0, 1, 0))
+	if len(got) != 1 || got[0].EndTime.IsZero() {
+		t.Fatalf("completed job missing from executed index")
+	}
+	if s.Len() != 1 {
+		t.Errorf("replace grew the store: Len = %d", s.Len())
+	}
+}
+
+func TestExecutedBetweenMatchesNaiveScan(t *testing.T) {
+	s := New()
+	var all []*job.Job
+	for i := 0; i < 300; i++ {
+		j := mkJob(fmt.Sprintf("j%03d", i), t0.Add(time.Duration(i*37)*time.Minute), 1+i%120)
+		all = append(all, j)
+		if err := s.Insert(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(aRaw, bRaw uint16) bool {
+		a := t0.Add(time.Duration(aRaw%20000) * time.Minute)
+		b := t0.Add(time.Duration(bRaw%20000) * time.Minute)
+		if b.Before(a) {
+			a, b = b, a
+		}
+		got := s.ExecutedBetween(a, b)
+		want := 0
+		for _, j := range all {
+			if !j.EndTime.Before(a) && j.EndTime.Before(b) {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].EndTime.Before(got[i-1].EndTime) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubmittedBetween(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		if err := s.Insert(mkJob(fmt.Sprintf("j%02d", i), t0.Add(time.Duration(i)*time.Hour), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.SubmittedBetween(t0.Add(10*time.Hour), t0.Add(20*time.Hour))
+	if len(got) != 10 {
+		t.Fatalf("got %d jobs, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].SubmitTime.Before(got[i-1].SubmitTime) {
+			t.Fatal("not ordered by submission")
+		}
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	s := New()
+	// Same submit instant: order must fall back to ID for determinism.
+	for _, id := range []string{"c", "a", "b"} {
+		if err := s.Insert(mkJob(id, t0, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.All()
+	if all[0].ID != "a" || all[1].ID != "b" || all[2].ID != "c" {
+		t.Errorf("All order: %s %s %s", all[0].ID, all[1].ID, all[2].ID)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 20; i++ {
+		j := mkJob(fmt.Sprintf("j%02d", i), t0.Add(time.Duration(i)*time.Minute), 10+i)
+		j.Counters = job.PerfCounters{Perf2: float64(i), Perf3: 2, Perf4: 3, Perf5: 4}
+		if err := s.Insert(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("round trip lost jobs: %d vs %d", loaded.Len(), s.Len())
+	}
+	a, b := s.All(), loaded.All()
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Counters != b[i].Counters || !a[i].SubmitTime.Equal(b[i].SubmitTime) {
+			t.Fatalf("job %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"id\":\"a\"}\nnot-json\n")); err == nil {
+		t.Error("ReadJSONL accepted malformed input")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := New()
+	if err := s.Insert(mkJob("a", t0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/jobs.jsonl"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Errorf("loaded %d jobs", loaded.Len())
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("LoadFile of missing path succeeded")
+	}
+}
+
+func TestConcurrentInsertAndQuery(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j := mkJob(fmt.Sprintf("w%d-%03d", w, i), t0.Add(time.Duration(i)*time.Minute), 5)
+				if err := s.Insert(j); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.ExecutedBetween(t0, t0.Add(100*time.Hour))
+				s.SubmittedBetween(t0, t0.Add(100*time.Hour))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Errorf("Len = %d, want 800", s.Len())
+	}
+}

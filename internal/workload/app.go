@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"mcbound/internal/job"
+	"mcbound/internal/stats"
+)
+
+// application is the latent unit of the generative model: a (user,
+// name, environment, resource shape) tuple with a characteristic
+// operational-intensity distribution. A job is one sampled execution of
+// an application.
+type application struct {
+	id   int
+	user string
+	name string
+	env  string
+
+	// Resource shape.
+	nodesTypical int
+	coresTypical int
+
+	// Latent class and intensity model. logMu is the log operational
+	// intensity mean at birth; it random-walks by drift each day.
+	class     job.Label
+	logMu     float64
+	logSigma  float64
+	straddler bool
+
+	// freqNormalProb is P(user requests 2.0 GHz) for this app.
+	freqNormalProb float64
+
+	// Roof efficiency model: fraction of the attainable roof a job of
+	// this app actually reaches. wellTuned apps sit near the roof.
+	effAlpha, effBeta float64
+	wellTuned         bool
+
+	// Duration lognormal parameters.
+	durLogMean, durLogStd float64
+
+	// commGBs is the app's typical per-node interconnect injection rate
+	// (GByte/s), feeding the multi-roof characterization extension.
+	commGBs float64
+
+	// Activity weight (relative submission rate) and lifetime.
+	weight    float64
+	birthDay  int // day index relative to cfg.Start, may be negative
+	deathDay  int // exclusive
+	batchMean float64
+}
+
+// genericNames is the shared pool of uninformative job names; apps using
+// one of these are indistinguishable to the (job name, #cores) baseline
+// when their resource shapes collide.
+var genericNames = []string{
+	"run.sh", "a.out", "job.sh", "submit.sh", "test", "main",
+}
+
+// environments is the pool of execution environments (compiler/runtime
+// stacks) reported in the env feature.
+var environments = []string{
+	"lang/tcsds-1.2.38", "lang/tcsds-1.2.37", "gcc/12.2", "gcc/10.4",
+	"fuji/4.8.1", "fuji/4.10.0", "python/3.10", "spack/0.21",
+}
+
+// sciencePrefixes feed the unique job-name generator.
+var sciencePrefixes = []string{
+	"cfd", "md", "qcd", "fft", "genome", "climate", "seismic", "nbody",
+	"lattice", "dft", "spectra", "tensor", "wave", "flow", "mc", "fem",
+	"plasma", "ocean", "drug", "stencil", "graph", "particle", "qmc",
+	"vlasov", "hydro", "kernel", "bench", "train", "sim", "solver",
+}
+
+var scienceSuffixes = []string{
+	"prod", "test", "v2", "hires", "run", "opt", "sweep", "large",
+	"small", "final", "scan", "eval", "base", "tune", "exp",
+}
+
+// newApplication samples a fresh application for the given user on the
+// given birth day.
+func newApplication(cfg *Config, rng *stats.RNG, id int, user string, birthDay int) *application {
+	a := &application{
+		id:       id,
+		user:     user,
+		env:      environments[rng.Intn(len(environments))],
+		birthDay: birthDay,
+	}
+
+	// Lifetime: exponential, at least one day.
+	life := int(rng.Exp(cfg.AppLifetimeDays)) + 1
+	a.deathDay = birthDay + life
+
+	// Generic-named applications draw from a small shared pool and are
+	// decided first: their class distribution is deliberately close to
+	// balanced, so (job name, #cores) tuples collide across users *and*
+	// across classes — the ambiguity that costs the §V.C.a baseline its
+	// accuracy while the full feature set (user, env, ...) resolves it.
+	generic := rng.Bool(cfg.GenericNameFrac)
+
+	// Latent class, then intensity distribution anchored on the ridge.
+	// The conditional memory-bound probabilities keep the marginal at
+	// cfg.MemoryBoundFrac: P(mem) = g*pGen + (1-g)*pUniq.
+	logRidge := math.Log(cfg.Machine.RidgePoint())
+	pGen := 0.5
+	pUniq := cfg.MemoryBoundFrac
+	if g := cfg.GenericNameFrac; g < 1 {
+		pUniq = (cfg.MemoryBoundFrac - g*pGen) / (1 - g)
+		if pUniq < 0 {
+			pUniq = 0
+		} else if pUniq > 1 {
+			pUniq = 1
+		}
+	}
+	classProb := pUniq
+	if generic {
+		classProb = pGen
+	}
+	a.sampleIntensity(cfg, rng, rng.Bool(classProb), logRidge)
+
+	// Name: generic (shared pool) or a unique science-flavoured one.
+	if generic {
+		a.name = genericNames[rng.Intn(len(genericNames))]
+	} else {
+		a.name = fmt.Sprintf("%s_%s_%02d",
+			sciencePrefixes[rng.Intn(len(sciencePrefixes))],
+			scienceSuffixes[rng.Intn(len(scienceSuffixes))],
+			rng.Intn(100))
+	}
+
+	// Resource shape: node counts are power-of-two-ish, heavy-tailed.
+	// Generic-named apps cluster on the small shapes everyone uses
+	// (1–4 nodes), maximizing (name, #cores) collisions.
+	if generic {
+		a.nodesTypical = 1 << rng.Intn(2) // 1 or 2
+	} else {
+		a.nodesTypical = 1 << rng.Intn(9) // 1..256
+		if rng.Bool(0.1) {
+			a.nodesTypical *= 1 << rng.Intn(4) // occasional very large apps
+		}
+	}
+	a.coresTypical = a.nodesTypical * cfg.Machine.CoresPerNode
+	if a.nodesTypical == 1 && rng.Bool(0.3) {
+		// Sub-node jobs request fewer cores.
+		a.coresTypical = 12 * (1 + rng.Intn(4))
+	}
+
+	// Frequency preference follows the per-class Table II marginals.
+	if a.class == job.MemoryBound {
+		a.freqNormalProb = cfg.FreqNormalGivenMem
+	} else {
+		a.freqNormalProb = cfg.FreqNormalGivenComp
+	}
+	// Per-app idiosyncrasy: most users always pick the same mode.
+	if rng.Bool(0.7) {
+		if rng.Bool(a.freqNormalProb) {
+			a.freqNormalProb = 0.97
+		} else {
+			a.freqNormalProb = 0.03
+		}
+	}
+
+	// Efficiency: a small fraction of apps is well-tuned and runs near
+	// the roof; the rest sits far below it.
+	a.wellTuned = rng.Bool(cfg.WellTunedFrac)
+	if a.wellTuned {
+		a.effAlpha, a.effBeta = 14, 2 // mean ≈ 0.88
+	} else {
+		a.effAlpha, a.effBeta = cfg.EffAlpha, cfg.EffBeta
+	}
+
+	// Duration: per-app offset around the global lognormal.
+	a.durLogMean = cfg.DurLogMean + rng.Norm()*0.8
+	a.durLogStd = cfg.DurLogStd * (0.3 + 0.4*rng.Float64())
+
+	// Interconnect usage: single-node apps never inject; multi-node
+	// apps mostly communicate lightly, with a heavy tail of
+	// communication-bound codes near the Tofu roof (~3.5 GB/s).
+	if a.nodesTypical > 1 {
+		a.commGBs = rng.LogNormal(-2.5, 1.3) // median ≈ 0.08 GB/s
+		if rng.Bool(0.04) {
+			a.commGBs = 2.0 + 1.4*rng.Float64() // halo-exchange heavy
+		}
+	}
+
+	// Activity: heavy-tailed so a few apps dominate submissions.
+	a.weight = rng.LogNormal(0, 0.9)
+	a.batchMean = cfg.BatchMean * (0.4 + rng.Exp(1.0))
+
+	return a
+}
+
+// sampleIntensity draws the app's latent intensity distribution for its
+// class: either a straddler near the ridge (mixed labels across its own
+// jobs) or a clear-cut profile well away from it.
+func (a *application) sampleIntensity(cfg *Config, rng *stats.RNG, memory bool, logRidge float64) {
+	if memory {
+		a.class = job.MemoryBound
+	} else {
+		a.class = job.ComputeBound
+	}
+	sign := 1.0
+	if memory {
+		sign = -1.0
+	}
+	if rng.Bool(cfg.StraddlerFrac) {
+		a.straddler = true
+		a.logMu = logRidge + sign*math.Abs(rng.Norm())*cfg.StraddleOffsetStd
+		a.logSigma = cfg.StraddleSigma
+	} else {
+		a.straddler = false
+		a.logMu = logRidge + sign*(cfg.ClearOffsetMin+rng.Exp(cfg.ClearOffsetExpMean))
+		a.logSigma = cfg.ClearSigma
+	}
+}
+
+// shift re-draws the app's intensity profile in place: the discrete
+// behaviour change of a code update or a new input deck. The class is
+// resampled from the population prior, so roughly a third of shifts flip
+// the app across the ridge.
+func (a *application) shift(cfg *Config, rng *stats.RNG) {
+	logRidge := math.Log(cfg.Machine.RidgePoint())
+	a.sampleIntensity(cfg, rng, rng.Bool(cfg.MemoryBoundFrac), logRidge)
+}
+
+// aliveOn reports whether the app submits jobs on the given day index.
+func (a *application) aliveOn(day int) bool {
+	return day >= a.birthDay && day < a.deathDay
+}
+
+// betaSample draws a Beta(alpha, beta) variate via the ratio of gammas
+// (Jöhnk-free, using the sum-of-exponentials approximation for integer-ish
+// shapes is not general enough, so use Marsaglia–Tsang gamma sampling).
+func betaSample(rng *stats.RNG, alpha, beta float64) float64 {
+	x := gammaSample(rng, alpha)
+	y := gammaSample(rng, beta)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang, with the Ahrens
+// boost for shape < 1.
+func gammaSample(rng *stats.RNG, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mcbound/internal/job"
+	"mcbound/internal/stats"
+)
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := gammaSample(rng, shape)
+			if v < 0 {
+				t.Fatalf("gamma(%g) produced %g", shape, v)
+			}
+			sum += v
+		}
+		if mean := sum / n; math.Abs(mean-shape)/shape > 0.05 {
+			t.Errorf("gamma(%g) mean = %g", shape, mean)
+		}
+	}
+}
+
+func TestBetaSampleMoments(t *testing.T) {
+	rng := stats.NewRNG(2)
+	alpha, beta := 1.2, 6.0
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := betaSample(rng, alpha, beta)
+		if v < 0 || v > 1 {
+			t.Fatalf("beta produced %g", v)
+		}
+		sum += v
+	}
+	want := alpha / (alpha + beta)
+	if mean := sum / n; math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("beta mean = %g, want %g", mean, want)
+	}
+}
+
+func TestNewApplicationInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := stats.NewRNG(3)
+	generics, memory := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		a := newApplication(&cfg, rng, i, "u0001", 5)
+		if a.deathDay <= a.birthDay {
+			t.Fatalf("app %d: lifetime not positive", i)
+		}
+		if a.nodesTypical < 1 || a.coresTypical < 1 {
+			t.Fatalf("app %d: bad resource shape %d nodes / %d cores", i, a.nodesTypical, a.coresTypical)
+		}
+		if a.logSigma <= 0 || a.weight <= 0 || a.batchMean <= 0 {
+			t.Fatalf("app %d: non-positive distribution params", i)
+		}
+		if a.freqNormalProb < 0 || a.freqNormalProb > 1 {
+			t.Fatalf("app %d: freqNormalProb = %g", i, a.freqNormalProb)
+		}
+		isGeneric := false
+		for _, g := range genericNames {
+			if a.name == g {
+				isGeneric = true
+			}
+		}
+		if isGeneric {
+			generics++
+			if a.nodesTypical > 2 {
+				t.Fatalf("generic app with %d nodes", a.nodesTypical)
+			}
+		}
+		if a.class == job.MemoryBound {
+			memory++
+		}
+		// The class must match the side of the ridge the mean sits on.
+		logRidge := math.Log(cfg.Machine.RidgePoint())
+		if a.class == job.MemoryBound && a.logMu > logRidge {
+			t.Fatalf("memory-bound app with logMu above the ridge")
+		}
+		if a.class == job.ComputeBound && a.logMu < logRidge {
+			t.Fatalf("compute-bound app with logMu below the ridge")
+		}
+	}
+	if f := float64(generics) / n; math.Abs(f-cfg.GenericNameFrac) > 0.05 {
+		t.Errorf("generic fraction = %.3f, want ≈%g", f, cfg.GenericNameFrac)
+	}
+	if f := float64(memory) / n; math.Abs(f-cfg.MemoryBoundFrac) > 0.05 {
+		t.Errorf("memory-bound app fraction = %.3f, want ≈%g", f, cfg.MemoryBoundFrac)
+	}
+}
+
+func TestShiftRedrawsProfile(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := stats.NewRNG(4)
+	a := newApplication(&cfg, rng, 0, "u0001", 0)
+	flipped := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		before := a.class
+		a.shift(&cfg, rng)
+		if a.class != before {
+			flipped++
+		}
+	}
+	// With P(mem) = 0.79 the flip rate is 2*p*(1-p) ≈ 0.33.
+	f := float64(flipped) / n
+	if f < 0.2 || f > 0.5 {
+		t.Errorf("shift flip rate = %.3f, want ≈0.33", f)
+	}
+}
+
+func TestAliveOn(t *testing.T) {
+	a := &application{birthDay: 3, deathDay: 7}
+	for day, want := range map[int]bool{2: false, 3: true, 6: true, 7: false} {
+		if got := a.aliveOn(day); got != want {
+			t.Errorf("aliveOn(%d) = %v, want %v", day, got, want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGenerate measures synthetic-trace throughput at several
+// scales (the F-DATA stand-in; scale 1 is ~2.2M jobs).
+func BenchmarkGenerate(b *testing.B) {
+	for _, scale := range []float64{0.002, 0.01, 0.05} {
+		b.Run(fmt.Sprintf("scale=%g", scale), func(b *testing.B) {
+			cfg := EvalConfig(scale)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				jobs, err := NewGenerator(cfg, uint64(i+1)).Generate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(jobs)), "jobs")
+			}
+		})
+	}
+}
