@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; fail if any.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: build vet fmt race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

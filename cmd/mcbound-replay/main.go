@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mcbound/internal/core"
@@ -80,8 +83,11 @@ func run(trace string, generate bool, scale float64, seed uint64, model string, 
 
 	fmt.Printf("replaying %s deployment (α=%d β=%d) over [%s, %s)\n\n",
 		model, alpha, beta, from, to)
+	// Ctrl-C aborts the replay at the next trigger boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	r := &simulate.Replay{Framework: fw, Log: os.Stdout}
-	tl, err := r.Run(start, end)
+	tl, err := r.Run(ctx, start, end)
 	if err != nil {
 		return err
 	}

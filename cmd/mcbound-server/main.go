@@ -1,68 +1,97 @@
 // Command mcbound-server deploys the MCBound framework as an HTTP
 // backend (artifact A1, the flask equivalent). It loads a jobs data
 // storage from a JSONL trace file (or generates a synthetic one), runs
-// an initial Training Workflow, and serves the inference API; a
-// background ticker re-triggers the Training Workflow every β days of
-// trace time (the cronjob of §III-E).
+// an initial Training Workflow, and serves the inference API; an
+// optional background ticker re-triggers the Training Workflow (the
+// cronjob of §III-E). The server runs with production timeouts, request
+// telemetry on GET /metrics, capped request bodies and signal-driven
+// graceful shutdown: SIGTERM/SIGINT stop the retraining ticker, drain
+// in-flight requests and exit 0.
 //
 // Usage:
 //
 //	mcbound-server -trace jobs.jsonl -model rf -alpha 15 -port 8080
 //	mcbound-server -generate -scale 0.01            # demo without a trace file
+//	mcbound-server -generate -retrain-every 24h -pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"mcbound/internal/core"
 	"mcbound/internal/experiments"
 	"mcbound/internal/fetch"
+	"mcbound/internal/httpapi"
 	"mcbound/internal/store"
 	"mcbound/internal/workload"
-
-	"mcbound/internal/httpapi"
 )
 
+type options struct {
+	trace        string
+	generate     bool
+	scale        float64
+	seed         uint64
+	model        string
+	alpha, beta  int
+	modelDir     string
+	port         int
+	trainAt      string
+	maxBody      int64
+	pprof        bool
+	retrainEvery time.Duration
+	drainTimeout time.Duration
+}
+
 func main() {
-	var (
-		trace    = flag.String("trace", "", "JSONL trace file backing the jobs data storage")
-		generate = flag.Bool("generate", false, "generate a synthetic trace instead of loading one")
-		scale    = flag.Float64("scale", 0.01, "synthetic trace scale (with -generate)")
-		seed     = flag.Uint64("seed", 7, "synthetic trace seed (with -generate)")
-		model    = flag.String("model", "rf", "classification model: rf or knn")
-		alpha    = flag.Int("alpha", 15, "training window in days")
-		beta     = flag.Int("beta", 1, "retraining period in days")
-		modelDir = flag.String("model-dir", "", "directory for versioned model files (empty = no persistence)")
-		port     = flag.Int("port", 8080, "listen port")
-		trainAt  = flag.String("train-at", "", "reference instant (RFC 3339) for the initial training window; default = newest job completion")
-	)
+	var o options
+	flag.StringVar(&o.trace, "trace", "", "JSONL trace file backing the jobs data storage")
+	flag.BoolVar(&o.generate, "generate", false, "generate a synthetic trace instead of loading one")
+	flag.Float64Var(&o.scale, "scale", 0.01, "synthetic trace scale (with -generate)")
+	flag.Uint64Var(&o.seed, "seed", 7, "synthetic trace seed (with -generate)")
+	flag.StringVar(&o.model, "model", "rf", "classification model: rf or knn")
+	flag.IntVar(&o.alpha, "alpha", 15, "training window in days")
+	flag.IntVar(&o.beta, "beta", 1, "retraining period in days")
+	flag.StringVar(&o.modelDir, "model-dir", "", "directory for versioned model files (empty = no persistence)")
+	flag.IntVar(&o.port, "port", 8080, "listen port")
+	flag.StringVar(&o.trainAt, "train-at", "", "reference instant (RFC 3339) for the initial training window; default = newest job completion")
+	flag.Int64Var(&o.maxBody, "max-body-bytes", httpapi.DefaultMaxBodyBytes, "request body size cap in bytes")
+	flag.BoolVar(&o.pprof, "pprof", false, "expose /debug/pprof/* on the API port")
+	flag.DurationVar(&o.retrainEvery, "retrain-every", 0, "wall-clock retraining period for the cron ticker (0 = disabled)")
+	flag.DurationVar(&o.drainTimeout, "shutdown-timeout", httpapi.DefaultDrainTimeout, "in-flight request drain budget on shutdown")
 	flag.Parse()
 
-	if err := run(*trace, *generate, *scale, *seed, *model, *alpha, *beta, *modelDir, *port, *trainAt); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mcbound-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trace string, generate bool, scale float64, seed uint64, model string, alpha, beta int, modelDir string, port int, trainAt string) error {
+func run(o options) error {
+	// SIGTERM/SIGINT trigger the graceful-shutdown path below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var st *store.Store
 	switch {
-	case generate:
-		log.Printf("generating synthetic trace (scale=%g, seed=%d)...", scale, seed)
-		env, err := experiments.NewEnv(workload.EvalConfig(scale), seed)
+	case o.generate:
+		log.Printf("generating synthetic trace (scale=%g, seed=%d)...", o.scale, o.seed)
+		env, err := experiments.NewEnv(workload.EvalConfig(o.scale), o.seed)
 		if err != nil {
 			return err
 		}
 		st = env.Store
-	case trace != "":
-		log.Printf("loading trace %s...", trace)
+	case o.trace != "":
+		log.Printf("loading trace %s...", o.trace)
 		var err error
-		st, err = store.LoadFile(trace)
+		st, err = store.LoadFile(o.trace)
 		if err != nil {
 			return err
 		}
@@ -72,9 +101,9 @@ func run(trace string, generate bool, scale float64, seed uint64, model string, 
 	log.Printf("jobs data storage ready: %d jobs", st.Len())
 
 	cfg := core.DefaultConfig()
-	cfg.Model = core.ModelKind(model)
-	cfg.Alpha, cfg.Beta = alpha, beta
-	cfg.ModelDir = modelDir
+	cfg.Model = core.ModelKind(o.model)
+	cfg.Alpha, cfg.Beta = o.alpha, o.beta
+	cfg.ModelDir = o.modelDir
 	fw, err := core.New(cfg, fetch.StoreBackend{Store: st})
 	if err != nil {
 		return err
@@ -82,14 +111,14 @@ func run(trace string, generate bool, scale float64, seed uint64, model string, 
 
 	// Initial Training Workflow (the deploy script of §III-E).
 	now := time.Now().UTC()
-	if trainAt != "" {
-		if now, err = time.Parse(time.RFC3339, trainAt); err != nil {
+	if o.trainAt != "" {
+		if now, err = time.Parse(time.RFC3339, o.trainAt); err != nil {
 			return fmt.Errorf("bad -train-at: %w", err)
 		}
 	} else if newest := newestEnd(st); !newest.IsZero() {
 		now = newest
 	}
-	rep, err := fw.Train(now)
+	rep, err := fw.Train(ctx, now)
 	if err != nil {
 		return err
 	}
@@ -97,10 +126,56 @@ func run(trace string, generate bool, scale float64, seed uint64, model string, 
 		rep.WindowStart.Format("2006-01-02"), rep.WindowEnd.Format("2006-01-02"),
 		rep.LabeledJobs, rep.TrainDuration.Seconds(), rep.ModelVersion)
 
-	srv := httpapi.New(fw, st, log.Default())
-	addr := fmt.Sprintf(":%d", port)
-	log.Printf("serving on %s (model=%s α=%d β=%d)", addr, model, alpha, beta)
-	return http.ListenAndServe(addr, srv)
+	api := httpapi.New(fw, st, log.Default(), httpapi.Options{
+		MaxBodyBytes: o.maxBody,
+		EnablePprof:  o.pprof,
+	})
+	api.ObserveTrain(rep, nil)
+
+	// Cron-equivalent retraining ticker: retrain on the newest completed
+	// data (a live store advances as POST /v1/jobs delivers records).
+	// Stopped by the same signal context that drains the server.
+	var wg sync.WaitGroup
+	if o.retrainEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(o.retrainEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					log.Printf("retraining ticker stopped")
+					return
+				case <-ticker.C:
+					at := newestEnd(st)
+					if at.IsZero() {
+						at = time.Now().UTC()
+					}
+					rep, err := fw.Train(ctx, at)
+					api.ObserveTrain(rep, err)
+					if err != nil {
+						log.Printf("cron retraining failed: %v", err)
+						continue
+					}
+					log.Printf("cron retraining: window [%s, %s), %d labeled jobs, version %d",
+						rep.WindowStart.Format("2006-01-02"), rep.WindowEnd.Format("2006-01-02"),
+						rep.LabeledJobs, rep.ModelVersion)
+				}
+			}
+		}()
+	}
+
+	srv := httpapi.NewHTTPServer(fmt.Sprintf(":%d", o.port), api)
+	log.Printf("serving on %s (model=%s α=%d β=%d, max_body=%dB, pprof=%t)",
+		srv.Addr, o.model, o.alpha, o.beta, o.maxBody, o.pprof)
+	err = httpapi.ListenAndServe(ctx, srv, o.drainTimeout)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	log.Printf("shutdown complete")
+	return nil
 }
 
 func newestEnd(st *store.Store) time.Time {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,16 +40,16 @@ func main() {
 		log.Fatal(err)
 	}
 	trainAt := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
-	if _, err := fw.Train(trainAt); err != nil {
+	if _, err := fw.Train(context.Background(), trainAt); err != nil {
 		log.Fatal(err)
 	}
 
 	// One week of submissions, classified before execution.
-	week, err := fw.Fetcher().FetchSubmitted(trainAt, trainAt.AddDate(0, 0, 7))
+	week, err := fw.Fetcher().FetchSubmitted(context.Background(), trainAt, trainAt.AddDate(0, 0, 7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	preds, err := fw.ClassifyJobs(week)
+	preds, err := fw.ClassifyJobs(context.Background(), week)
 	if err != nil {
 		log.Fatal(err)
 	}

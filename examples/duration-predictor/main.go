@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -40,7 +41,7 @@ func main() {
 
 	// Training window: the 30 days before February (the KNN best α).
 	trainAt := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
-	window, err := fetcher.FetchExecuted(trainAt.AddDate(0, 0, -30), trainAt)
+	window, err := fetcher.FetchExecuted(context.Background(), trainAt.AddDate(0, 0, -30), trainAt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func main() {
 	fmt.Printf("fitted KNN duration regressor on %d executed jobs\n", len(window))
 
 	// Predict the first week of February at submission time.
-	week, err := fetcher.FetchSubmitted(trainAt, trainAt.AddDate(0, 0, 7))
+	week, err := fetcher.FetchSubmitted(context.Background(), trainAt, trainAt.AddDate(0, 0, 7))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -38,16 +39,16 @@ func main() {
 		log.Fatal(err)
 	}
 	trainAt := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
-	if _, err := fw.Train(trainAt); err != nil {
+	if _, err := fw.Train(context.Background(), trainAt); err != nil {
 		log.Fatal(err)
 	}
 
 	// Classify the whole test month before execution.
-	month, err := fw.Fetcher().FetchSubmitted(trainAt, trainAt.AddDate(0, 1, 0))
+	month, err := fw.Fetcher().FetchSubmitted(context.Background(), trainAt, trainAt.AddDate(0, 1, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	preds, err := fw.ClassifyJobs(month)
+	preds, err := fw.ClassifyJobs(context.Background(), month)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,7 +45,7 @@ func main() {
 	//    executed jobs, characterize them with the Roofline model, and
 	//    train the Classification Model.
 	trainAt := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
-	rep, err := fw.Train(trainAt)
+	rep, err := fw.Train(context.Background(), trainAt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 	// 4. Inference Workflow: classify everything submitted in the first
 	//    week of February — before execution, from submission features
 	//    only. (In production this trigger fires once every β days.)
-	preds, err := fw.ClassifySubmitted(trainAt, trainAt.AddDate(0, 0, 7))
+	preds, err := fw.ClassifySubmitted(context.Background(), trainAt, trainAt.AddDate(0, 0, 7))
 	if err != nil {
 		log.Fatal(err)
 	}

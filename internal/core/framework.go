@@ -6,6 +6,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -19,6 +21,11 @@ import (
 	"mcbound/internal/persist"
 	"mcbound/internal/roofline"
 )
+
+// ErrNotTrained is the sentinel returned by inference before the first
+// successful Training Workflow; callers branch with errors.Is (the HTTP
+// layer maps it to 503).
+var ErrNotTrained = errors.New("core: no trained model (run the Training Workflow first)")
 
 // ModelKind selects the Classification Model algorithm.
 type ModelKind string
@@ -152,10 +159,11 @@ type TrainReport struct {
 // Train runs the Training Workflow as of now: fetch the jobs executed in
 // the last α days, characterize them, encode them and train a fresh
 // Classification Model instance, saving it to the registry when
-// configured.
-func (f *Framework) Train(now time.Time) (*TrainReport, error) {
+// configured. The context bounds the fetch and is re-checked between
+// the expensive phases so a canceled trigger stops early.
+func (f *Framework) Train(ctx context.Context, now time.Time) (*TrainReport, error) {
 	start := now.AddDate(0, 0, -f.cfg.Alpha)
-	window, err := f.fetcher.FetchExecuted(start, now)
+	window, err := f.fetcher.FetchExecuted(ctx, start, now)
 	if err != nil {
 		return nil, fmt.Errorf("core: training fetch: %w", err)
 	}
@@ -176,6 +184,9 @@ func (f *Framework) Train(now time.Time) (*TrainReport, error) {
 		return rep, fmt.Errorf("core: no characterizable jobs in [%v, %v)", start, now)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return rep, fmt.Errorf("core: train canceled: %w", err)
+	}
 	model, err := buildModel(f.cfg) // fresh instance per trigger
 	if err != nil {
 		return rep, err
@@ -252,12 +263,15 @@ func (f *Framework) ModelInfo() (name string, version int, trainedAt time.Time) 
 
 // ClassifyJobs runs the Inference Workflow on explicit job records
 // (e.g. just-submitted jobs pushed by the scheduler hook).
-func (f *Framework) ClassifyJobs(jobs []*job.Job) ([]Prediction, error) {
+func (f *Framework) ClassifyJobs(ctx context.Context, jobs []*job.Job) ([]Prediction, error) {
 	f.mu.RLock()
 	model, trained := f.model, f.trained
 	f.mu.RUnlock()
 	if !trained {
-		return nil, fmt.Errorf("core: no trained model (run the Training Workflow first)")
+		return nil, ErrNotTrained
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	labels, err := model.Predict(f.encoder.Encode(jobs))
 	if err != nil {
@@ -272,12 +286,12 @@ func (f *Framework) ClassifyJobs(jobs []*job.Job) ([]Prediction, error) {
 
 // ClassifyByID classifies a single job fetched from the data storage
 // (the per-submission inference trigger).
-func (f *Framework) ClassifyByID(id string) (Prediction, error) {
-	j, err := f.fetcher.FetchJob(id)
+func (f *Framework) ClassifyByID(ctx context.Context, id string) (Prediction, error) {
+	j, err := f.fetcher.FetchJob(ctx, id)
 	if err != nil {
 		return Prediction{}, err
 	}
-	out, err := f.ClassifyJobs([]*job.Job{j})
+	out, err := f.ClassifyJobs(ctx, []*job.Job{j})
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -286,13 +300,13 @@ func (f *Framework) ClassifyByID(id string) (Prediction, error) {
 
 // ClassifySubmitted classifies every job submitted in [start, end) (the
 // periodic inference trigger).
-func (f *Framework) ClassifySubmitted(start, end time.Time) ([]Prediction, error) {
-	jobs, err := f.fetcher.FetchSubmitted(start, end)
+func (f *Framework) ClassifySubmitted(ctx context.Context, start, end time.Time) ([]Prediction, error) {
+	jobs, err := f.fetcher.FetchSubmitted(ctx, start, end)
 	if err != nil {
 		return nil, err
 	}
 	if len(jobs) == 0 {
 		return nil, nil
 	}
-	return f.ClassifyJobs(jobs)
+	return f.ClassifyJobs(ctx, jobs)
 }

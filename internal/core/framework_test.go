@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -68,7 +69,7 @@ func TestTrainAndClassify(t *testing.T) {
 		t.Fatal("framework claims trained before Train")
 	}
 	trainAt := time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC)
-	rep, err := fw.Train(trainAt)
+	rep, err := fw.Train(context.Background(), trainAt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,14 +81,14 @@ func TestTrainAndClassify(t *testing.T) {
 	}
 
 	// Classify known jobs by id.
-	pred, err := fw.ClassifyByID("c00000") // membound_app
+	pred, err := fw.ClassifyByID(context.Background(), "c00000") // membound_app
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pred.Label != job.MemoryBound {
 		t.Errorf("membound_app classified %v", pred.Label)
 	}
-	pred, err = fw.ClassifyByID("c00001") // compbound_app
+	pred, err = fw.ClassifyByID(context.Background(), "c00001") // compbound_app
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestTrainAndClassify(t *testing.T) {
 	}
 
 	// Classify a submitted range.
-	preds, err := fw.ClassifySubmitted(trainAt, trainAt.AddDate(0, 0, 1))
+	preds, err := fw.ClassifySubmitted(context.Background(), trainAt, trainAt.AddDate(0, 0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,14 +113,14 @@ func TestTrainAndClassify(t *testing.T) {
 
 func TestClassifyBeforeTrainFails(t *testing.T) {
 	fw := newFramework(t, DefaultConfig(), seedStore(t))
-	if _, err := fw.ClassifyByID("c00000"); err == nil {
+	if _, err := fw.ClassifyByID(context.Background(), "c00000"); err == nil {
 		t.Error("inference before training succeeded")
 	}
 }
 
 func TestTrainEmptyWindowFails(t *testing.T) {
 	fw := newFramework(t, DefaultConfig(), seedStore(t))
-	if _, err := fw.Train(time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)); err == nil {
+	if _, err := fw.Train(context.Background(), time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)); err == nil {
 		t.Error("training on an empty window succeeded")
 	}
 }
@@ -128,7 +129,7 @@ func TestKNNModelKind(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Model = ModelKNN
 	fw := newFramework(t, cfg, seedStore(t))
-	if _, err := fw.Train(time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC)); err != nil {
+	if _, err := fw.Train(context.Background(), time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC)); err != nil {
 		t.Fatal(err)
 	}
 	name, _, _ := fw.ModelInfo()
@@ -150,7 +151,7 @@ func TestPersistenceAndLoadLatest(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ModelDir = t.TempDir()
 	fw := newFramework(t, cfg, st)
-	rep, err := fw.Train(time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC))
+	rep, err := fw.Train(context.Background(), time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestPersistenceAndLoadLatest(t *testing.T) {
 	if v != 1 || !fresh.Trained() {
 		t.Errorf("restored version %d, trained %v", v, fresh.Trained())
 	}
-	pred, err := fresh.ClassifyByID("c00000")
+	pred, err := fresh.ClassifyByID(context.Background(), "c00000")
 	if err != nil {
 		t.Fatal(err)
 	}

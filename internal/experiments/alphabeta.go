@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -44,7 +45,7 @@ func RunOnline(env *Env, model ModelName, p online.Params) (*online.Result, erro
 	default:
 		return nil, fmt.Errorf("experiments: unknown model %q", model)
 	}
-	return r.Run(p, TestPeriodStart, TestPeriodEnd)
+	return r.Run(context.Background(), p, TestPeriodStart, TestPeriodEnd)
 }
 
 // AlphaBetaCell is one point of the Fig. 6 grids.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func TestNewEnvWiring(t *testing.T) {
 	}
 	// The fetcher must see the same jobs the store holds.
 	day := TestPeriodStart
-	fetched, err := env.Fetcher.FetchSubmitted(day, day.AddDate(0, 0, 7))
+	fetched, err := env.Fetcher.FetchSubmitted(context.Background(), day, day.AddDate(0, 0, 7))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -54,7 +55,7 @@ func FeatureAblation(env *Env, seed uint64) ([]FeatureAblationResult, error) {
 		r.Model = rf.New(cfg)
 		p := BestParams(RF)
 		p.Seed = seed
-		res, err := r.Run(p, TestPeriodStart, TestPeriodEnd)
+		res, err := r.Run(context.Background(), p, TestPeriodStart, TestPeriodEnd)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: feature set %q: %w", set.Name, err)
 		}

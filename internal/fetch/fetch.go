@@ -5,9 +5,14 @@
 // system; this repository ships the in-memory store backend, and the
 // interface is the seam where a relational or distributed backend would
 // plug in.
+//
+// Every fetch takes a context.Context: the serving path threads request
+// deadlines and cancellation down to the storage query, so a relational
+// or networked backend can abort work the client no longer wants.
 package fetch
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -16,14 +21,15 @@ import (
 )
 
 // Backend abstracts the jobs data storage technology. It mirrors the two
-// query shapes of the paper's fetch method.
+// query shapes of the paper's fetch method. Implementations must honor
+// context cancellation where the query is not trivially fast.
 type Backend interface {
 	// JobByID returns the record of a single job.
-	JobByID(id string) (*job.Job, error)
+	JobByID(ctx context.Context, id string) (*job.Job, error)
 	// ExecutedBetween returns jobs completed in [start, end).
-	ExecutedBetween(start, end time.Time) ([]*job.Job, error)
+	ExecutedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error)
 	// SubmittedBetween returns jobs submitted in [start, end).
-	SubmittedBetween(start, end time.Time) ([]*job.Job, error)
+	SubmittedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error)
 }
 
 // Fetcher is the Data Fetcher component.
@@ -44,37 +50,59 @@ func New(b Backend) (*Fetcher, error) {
 
 // FetchJob retrieves the data of the single job with the given id
 // (the fetch(job_id) form).
-func (f *Fetcher) FetchJob(id string) (*job.Job, error) {
-	return f.backend.JobByID(id)
+func (f *Fetcher) FetchJob(ctx context.Context, id string) (*job.Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.backend.JobByID(ctx, id)
 }
 
 // FetchExecuted retrieves all jobs executed (completed) between start and
 // end (the fetch(start_time, end_time) form used by the Training
 // Workflow).
-func (f *Fetcher) FetchExecuted(start, end time.Time) ([]*job.Job, error) {
-	return f.backend.ExecutedBetween(start, end)
+func (f *Fetcher) FetchExecuted(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.backend.ExecutedBetween(ctx, start, end)
 }
 
 // FetchSubmitted retrieves all jobs submitted between start and end (used
 // by the Inference Workflow when triggered periodically).
-func (f *Fetcher) FetchSubmitted(start, end time.Time) ([]*job.Job, error) {
-	return f.backend.SubmittedBetween(start, end)
+func (f *Fetcher) FetchSubmitted(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.backend.SubmittedBetween(ctx, start, end)
 }
 
-// StoreBackend adapts store.Store to the Backend interface.
+// StoreBackend adapts store.Store to the Backend interface. The store is
+// in-memory, so queries cannot block: cancellation is checked once at
+// entry and the scan itself runs to completion.
 type StoreBackend struct {
 	Store *store.Store
 }
 
 // JobByID implements Backend.
-func (b StoreBackend) JobByID(id string) (*job.Job, error) { return b.Store.Get(id) }
+func (b StoreBackend) JobByID(ctx context.Context, id string) (*job.Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Store.Get(id)
+}
 
 // ExecutedBetween implements Backend.
-func (b StoreBackend) ExecutedBetween(start, end time.Time) ([]*job.Job, error) {
+func (b StoreBackend) ExecutedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return b.Store.ExecutedBetween(start, end), nil
 }
 
 // SubmittedBetween implements Backend.
-func (b StoreBackend) SubmittedBetween(start, end time.Time) ([]*job.Job, error) {
+func (b StoreBackend) SubmittedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return b.Store.SubmittedBetween(start, end), nil
 }

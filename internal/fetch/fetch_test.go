@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -45,14 +46,14 @@ func TestNewRejectsNilBackend(t *testing.T) {
 
 func TestFetchJob(t *testing.T) {
 	_, f := newBackend(t)
-	j, err := f.FetchJob("a")
+	j, err := f.FetchJob(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if j.ID != "a" {
 		t.Errorf("fetched %s", j.ID)
 	}
-	if _, err := f.FetchJob("zz"); err == nil {
+	if _, err := f.FetchJob(context.Background(), "zz"); err == nil {
 		t.Error("fetch of missing job succeeded")
 	}
 }
@@ -60,7 +61,7 @@ func TestFetchJob(t *testing.T) {
 func TestFetchExecuted(t *testing.T) {
 	_, f := newBackend(t)
 	base := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
-	jobs, err := f.FetchExecuted(base, base.Add(5*time.Hour))
+	jobs, err := f.FetchExecuted(context.Background(), base, base.Add(5*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestFetchExecuted(t *testing.T) {
 func TestFetchSubmitted(t *testing.T) {
 	_, f := newBackend(t)
 	base := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
-	jobs, err := f.FetchSubmitted(base.Add(2*time.Hour), base.Add(4*time.Hour))
+	jobs, err := f.FetchSubmitted(context.Background(), base.Add(2*time.Hour), base.Add(4*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}

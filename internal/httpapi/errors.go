@@ -1,0 +1,68 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mcbound/internal/core"
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+// errorBody is the error envelope every handler returns: a human
+// message plus a stable machine-readable code. Index is set only for
+// batch-insert rejections (the offset of the first invalid record).
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	Index *int   `json:"index,omitempty"`
+}
+
+// Stable error codes of the v1 API.
+const (
+	codeBadRequest   = "bad_request"
+	codeInvalidJob   = "invalid_job"
+	codeNotFound     = "not_found"
+	codeNotTrained   = "not_trained"
+	codeBodyTooLarge = "body_too_large"
+	codeCanceled     = "canceled"
+	codeDeadline     = "deadline_exceeded"
+	codeInternal     = "internal"
+)
+
+// errBadRequest marks client errors detected in the handler layer
+// (malformed JSON, bad query parameters). Wrap with badRequest.
+var errBadRequest = errors.New("bad request")
+
+// badRequest tags err as a client error while keeping its chain intact
+// (a MaxBytesError inside still maps to 413).
+func badRequest(err error) error {
+	return fmt.Errorf("%w: %w", errBadRequest, err)
+}
+
+// errToStatus is the single mapper from Go errors to HTTP status and
+// machine-readable code. Order matters: body-size overflows surface
+// through JSON decode errors and must win over the bad-request tag.
+func errToStatus(err error) (status int, code string) {
+	var maxBytes *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxBytes):
+		return http.StatusRequestEntityTooLarge, codeBodyTooLarge
+	case errors.Is(err, job.ErrInvalid):
+		return http.StatusBadRequest, codeInvalidJob
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, codeBadRequest
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound, codeNotFound
+	case errors.Is(err, core.ErrNotTrained):
+		return http.StatusServiceUnavailable, codeNotTrained
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, codeDeadline
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, codeCanceled
+	default:
+		return http.StatusInternalServerError, codeInternal
+	}
+}

@@ -1,0 +1,76 @@
+package httpapi
+
+import (
+	"time"
+
+	"mcbound/internal/core"
+	"mcbound/internal/telemetry"
+)
+
+// trainBuckets cover the Training Workflow, which runs seconds-to-
+// minutes at production trace scale (paper Fig. 7).
+var trainBuckets = []float64{.01, .05, .1, .5, 1, 5, 15, 60, 300}
+
+// appMetrics instruments the framework hot paths behind the API: train
+// duration and window composition, classify throughput and latency,
+// ingest volume and store size.
+type appMetrics struct {
+	trainRuns     func(outcome string) *telemetry.Counter
+	trainDuration *telemetry.Histogram
+	jobsFetched   *telemetry.Counter
+	jobsLabeled   *telemetry.Counter
+	jobsSkipped   *telemetry.Counter
+	modelVersion  *telemetry.Gauge
+
+	classifyJobs     *telemetry.Counter
+	classifyDuration *telemetry.Histogram
+	insertedJobs     *telemetry.Counter
+}
+
+func newAppMetrics(reg *telemetry.Registry, storeLen func() int) *appMetrics {
+	reg.GaugeFunc("mcbound_store_jobs", "Jobs currently in the data storage.",
+		nil, func() float64 { return float64(storeLen()) })
+	return &appMetrics{
+		trainRuns: func(outcome string) *telemetry.Counter {
+			return reg.Counter("mcbound_train_runs_total",
+				"Training Workflow triggers by outcome.", telemetry.Labels{"outcome": outcome})
+		},
+		trainDuration: reg.Histogram("mcbound_train_duration_seconds",
+			"Model fit duration per successful Training Workflow.", trainBuckets, nil),
+		jobsFetched: reg.Counter("mcbound_train_jobs_fetched_total",
+			"Jobs fetched into training windows.", nil),
+		jobsLabeled: reg.Counter("mcbound_train_jobs_labeled_total",
+			"Jobs the Roofline characterizer labeled for training.", nil),
+		jobsSkipped: reg.Counter("mcbound_train_jobs_skipped_total",
+			"Jobs in training windows without characterizable counters.", nil),
+		modelVersion: reg.Gauge("mcbound_model_version",
+			"Version of the currently served model (0 = unpersisted).", nil),
+		classifyJobs: reg.Counter("mcbound_classify_jobs_total",
+			"Jobs classified by the Inference Workflow.", nil),
+		classifyDuration: reg.Histogram("mcbound_classify_duration_seconds",
+			"Inference Workflow latency per request.", nil, nil),
+		insertedJobs: reg.Counter("mcbound_jobs_inserted_total",
+			"Job records accepted by POST /v1/jobs.", nil),
+	}
+}
+
+// observeTrain records one Training Workflow trigger. rep may be nil on
+// early failures.
+func (m *appMetrics) observeTrain(rep *core.TrainReport, err error) {
+	if err != nil {
+		m.trainRuns("error").Inc()
+		return
+	}
+	m.trainRuns("ok").Inc()
+	m.trainDuration.Observe(rep.TrainDuration.Seconds())
+	m.jobsFetched.Add(int64(rep.FetchedJobs))
+	m.jobsLabeled.Add(int64(rep.LabeledJobs))
+	m.jobsSkipped.Add(int64(rep.SkippedJobs))
+	m.modelVersion.Set(float64(rep.ModelVersion))
+}
+
+// observeClassify records one Inference Workflow execution of n jobs.
+func (m *appMetrics) observeClassify(n int, d time.Duration) {
+	m.classifyJobs.Add(int64(n))
+	m.classifyDuration.Observe(d.Seconds())
+}

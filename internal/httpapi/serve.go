@@ -1,0 +1,74 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Timeouts for a hardened production http.Server fronting the API.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultWriteTimeout      = 120 * time.Second // bounds a POST /v1/train model fit
+	DefaultIdleTimeout       = 120 * time.Second
+	DefaultDrainTimeout      = 15 * time.Second
+)
+
+// NewHTTPServer wraps handler in an http.Server with production
+// timeouts configured (slowloris-safe header reads, bounded writes).
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
+
+// Serve runs srv on ln until ctx is canceled, then gracefully drains:
+// the listener closes immediately, in-flight requests get up to
+// drainTimeout to complete, and nil is returned on a clean drain. A
+// non-positive drainTimeout defaults to DefaultDrainTimeout.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any shutdown was requested.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if serveErr := <-errc; err == nil && serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		err = serveErr
+	}
+	return err
+}
+
+// ListenAndServe is Serve with its own TCP listener on srv.Addr.
+func ListenAndServe(ctx context.Context, srv *http.Server, drainTimeout time.Duration) error {
+	addr := srv.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, srv, ln, drainTimeout)
+}

@@ -3,59 +3,135 @@
 // framework API:
 //
 //	GET  /healthz                      liveness probe
+//	GET  /metrics                      Prometheus text exposition
 //	GET  /v1/model                     currently served model info
 //	POST /v1/train                     trigger the Training Workflow
-//	POST /v1/jobs                      insert job records (demo/test path)
+//	POST /v1/jobs                      insert job records (atomic batch)
 //	GET  /v1/classify/{id}             classify one stored job
 //	POST /v1/classify                  classify posted job records
 //	GET  /v1/classify?start=&end=      classify jobs submitted in a range
 //	GET  /v1/characterize?start=&end=  Roofline-label executed jobs
 //
-// All payloads are JSON. Timestamps are RFC 3339.
+// All payloads are JSON; timestamps are RFC 3339. List endpoints accept
+// limit/offset pagination and return {items, total, skipped} envelopes.
+// Errors carry a stable machine-readable code next to the message:
+// {"error": "...", "code": "not_found"}. Request bodies are capped
+// (Options.MaxBodyBytes) and every request is tagged with an
+// X-Request-Id, logged, counted and timed per route.
 package httpapi
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log"
 	"net/http"
-	"strings"
+	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"mcbound/internal/core"
 	"mcbound/internal/job"
 	"mcbound/internal/store"
+	"mcbound/internal/telemetry"
 )
+
+// DefaultMaxBodyBytes caps POST bodies at 8 MiB unless overridden.
+const DefaultMaxBodyBytes = 8 << 20
+
+// Options tune the serving layer. The zero value is production-safe.
+type Options struct {
+	// MaxBodyBytes caps request bodies; 0 selects DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+
+	// Registry receives the serving metrics; nil allocates a private one.
+	// Share a registry to expose additional collectors on /metrics.
+	Registry *telemetry.Registry
+
+	// EnablePprof mounts /debug/pprof/* on the API mux.
+	EnablePprof bool
+}
 
 // Server wires a Framework and its job store into an http.Handler.
 type Server struct {
-	fw    *core.Framework
-	store *store.Store
-	mux   *http.ServeMux
-	log   *log.Logger
+	fw      *core.Framework
+	store   *store.Store
+	mux     *http.ServeMux
+	handler http.Handler
+	log     *log.Logger
+	reg     *telemetry.Registry
+	metrics *appMetrics
+	maxBody int64
 }
 
 // New builds a Server. The store must be the same one backing the
 // framework's Data Fetcher (the insert endpoint writes to it).
-func New(fw *core.Framework, st *store.Store, logger *log.Logger) *Server {
+func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) *Server {
 	if logger == nil {
 		logger = log.Default()
 	}
-	s := &Server{fw: fw, store: st, mux: http.NewServeMux(), log: logger}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/model", s.handleModel)
-	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleInsert)
-	s.mux.HandleFunc("GET /v1/classify/{id}", s.handleClassifyByID)
-	s.mux.HandleFunc("POST /v1/classify", s.handleClassifyJobs)
-	s.mux.HandleFunc("GET /v1/classify", s.handleClassifyRange)
-	s.mux.HandleFunc("GET /v1/characterize", s.handleCharacterize)
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		fw:      fw,
+		store:   st,
+		mux:     http.NewServeMux(),
+		log:     logger,
+		reg:     opts.Registry,
+		metrics: newAppMetrics(opts.Registry, st.Len),
+		maxBody: opts.MaxBodyBytes,
+	}
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /v1/model", s.handleModel)
+	s.route("POST /v1/train", s.handleTrain)
+	s.route("POST /v1/jobs", s.handleInsert)
+	s.route("GET /v1/classify/{id}", s.handleClassifyByID)
+	s.route("POST /v1/classify", s.handleClassifyJobs)
+	s.route("GET /v1/classify", s.handleClassifyRange)
+	s.route("GET /v1/characterize", s.handleCharacterize)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	if opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = telemetry.Chain(http.HandlerFunc(s.dispatch),
+		telemetry.RequestID,
+		telemetry.AccessLog(logger),
+		telemetry.Recover(logger),
+	)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Registry exposes the metrics registry (e.g. to register extra
+// collectors before serving).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// ObserveTrain records a Training Workflow trigger that happened
+// outside a request handler (the cron retraining ticker).
+func (s *Server) ObserveTrain(rep *core.TrainReport, err error) { s.metrics.observeTrain(rep, err) }
+
+// ServeHTTP implements http.Handler through the middleware stack.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// dispatch applies the body cap and routes to the instrumented mux.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// route registers an instrumented handler under the mux pattern; the
+// pattern doubles as the bounded-cardinality route label.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, telemetry.Instrument(s.reg, pattern)(h))
+}
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -65,12 +141,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorBody{Error: err.Error()})
+// writeError maps err through errToStatus and emits the error envelope.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := errToStatus(err)
+	s.writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -102,21 +176,22 @@ type trainRequest struct {
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	var req trainRequest
 	if err := decodeBody(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, err)
 		return
 	}
 	now := time.Now().UTC()
 	if req.Now != "" {
 		t, err := time.Parse(time.RFC3339, req.Now)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad now: %w", err))
+			s.writeError(w, badRequest(fmt.Errorf("bad now: %w", err)))
 			return
 		}
 		now = t
 	}
-	rep, err := s.fw.Train(now)
+	rep, err := s.fw.Train(r.Context(), now)
+	s.metrics.observeTrain(rep, err)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
@@ -130,64 +205,96 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleInsert accepts a batch of job records atomically: the whole
+// batch is validated first, and one invalid record rejects everything
+// with the index of the first offender.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var jobs []*job.Job
 	if err := json.NewDecoder(r.Body).Decode(&jobs); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad jobs payload: %w", err))
+		s.writeError(w, badRequest(fmt.Errorf("bad jobs payload: %w", err)))
 		return
 	}
-	for _, j := range jobs {
+	for i, j := range jobs {
+		if j == nil {
+			s.writeInvalidJob(w, fmt.Errorf("null record: %w", job.ErrInvalid), i)
+			return
+		}
 		if err := j.Validate(); err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeInvalidJob(w, err, i)
 			return
 		}
 	}
 	if err := s.store.Insert(jobs...); err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, err)
 		return
 	}
+	s.metrics.insertedJobs.Add(int64(len(jobs)))
 	s.writeJSON(w, http.StatusOK, map[string]any{"inserted": len(jobs)})
 }
 
+func (s *Server) writeInvalidJob(w http.ResponseWriter, err error, index int) {
+	status, code := errToStatus(err)
+	s.writeJSON(w, status, errorBody{Error: err.Error(), Code: code, Index: &index})
+}
+
 func (s *Server) handleClassifyByID(w http.ResponseWriter, r *http.Request) {
-	pred, err := s.fw.ClassifyByID(r.PathValue("id"))
+	t0 := time.Now()
+	pred, err := s.fw.ClassifyByID(r.Context(), r.PathValue("id"))
 	if err != nil {
-		status := http.StatusInternalServerError
-		if strings.Contains(err.Error(), "not found") {
-			status = http.StatusNotFound
-		}
-		s.writeError(w, status, err)
+		s.writeError(w, err)
 		return
 	}
+	s.metrics.observeClassify(1, time.Since(t0))
 	s.writeJSON(w, http.StatusOK, pred)
 }
 
 func (s *Server) handleClassifyJobs(w http.ResponseWriter, r *http.Request) {
 	var jobs []*job.Job
 	if err := json.NewDecoder(r.Body).Decode(&jobs); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad jobs payload: %w", err))
+		s.writeError(w, badRequest(fmt.Errorf("bad jobs payload: %w", err)))
 		return
 	}
-	preds, err := s.fw.ClassifyJobs(jobs)
+	t0 := time.Now()
+	preds, err := s.fw.ClassifyJobs(r.Context(), jobs)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, err)
 		return
 	}
+	s.metrics.observeClassify(len(preds), time.Since(t0))
 	s.writeJSON(w, http.StatusOK, preds)
+}
+
+// listEnvelope is the paginated response of the range endpoints. Total
+// counts every produced item before pagination; Skipped counts jobs in
+// the range that could not be processed (e.g. uncharacterizable).
+type listEnvelope struct {
+	Items   any `json:"items"`
+	Total   int `json:"total"`
+	Skipped int `json:"skipped"`
 }
 
 func (s *Server) handleClassifyRange(w http.ResponseWriter, r *http.Request) {
 	start, end, err := timeRange(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, err)
 		return
 	}
-	preds, err := s.fw.ClassifySubmitted(start, end)
+	limit, offset, err := pageParams(r)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, preds)
+	t0 := time.Now()
+	preds, err := s.fw.ClassifySubmitted(r.Context(), start, end)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.metrics.observeClassify(len(preds), time.Since(t0))
+	s.writeJSON(w, http.StatusOK, listEnvelope{
+		Items: paginate(preds, limit, offset),
+		Total: len(preds),
+	})
 }
 
 type charBody struct {
@@ -201,18 +308,25 @@ type charBody struct {
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	start, end, err := timeRange(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, err)
 		return
 	}
-	jobs, err := s.fw.Fetcher().FetchExecuted(start, end)
+	limit, offset, err := pageParams(r)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, err)
+		return
+	}
+	jobs, err := s.fw.Fetcher().FetchExecuted(r.Context(), start, end)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
 	out := make([]charBody, 0, len(jobs))
+	skipped := 0
 	for _, j := range jobs {
 		pt, err := s.fw.Characterizer().Characterize(j)
 		if err != nil {
+			skipped++
 			continue
 		}
 		out = append(out, charBody{
@@ -223,26 +337,62 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 			Intensity: pt.Intensity,
 		})
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, listEnvelope{
+		Items:   paginate(out, limit, offset),
+		Total:   len(out),
+		Skipped: skipped,
+	})
 }
 
 func timeRange(r *http.Request) (start, end time.Time, err error) {
 	q := r.URL.Query()
 	if q.Get("start") == "" || q.Get("end") == "" {
-		return start, end, errors.New("start and end query parameters are required (RFC 3339)")
+		return start, end, badRequest(fmt.Errorf("start and end query parameters are required (RFC 3339)"))
 	}
 	start, err = time.Parse(time.RFC3339, q.Get("start"))
 	if err != nil {
-		return start, end, fmt.Errorf("bad start: %w", err)
+		return start, end, badRequest(fmt.Errorf("bad start: %w", err))
 	}
 	end, err = time.Parse(time.RFC3339, q.Get("end"))
 	if err != nil {
-		return start, end, fmt.Errorf("bad end: %w", err)
+		return start, end, badRequest(fmt.Errorf("bad end: %w", err))
 	}
 	if !end.After(start) {
-		return start, end, errors.New("end must be after start")
+		return start, end, badRequest(fmt.Errorf("end must be after start"))
 	}
 	return start, end, nil
+}
+
+// pageParams parses limit/offset. limit = -1 (absent) means no cap.
+func pageParams(r *http.Request) (limit, offset int, err error) {
+	limit = -1
+	q := r.URL.Query()
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			return 0, 0, badRequest(fmt.Errorf("bad limit %q: non-negative integer required", v))
+		}
+	}
+	if v := q.Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return 0, 0, badRequest(fmt.Errorf("bad offset %q: non-negative integer required", v))
+		}
+	}
+	return limit, offset, nil
+}
+
+// paginate slices items by offset/limit; the result is never nil so it
+// encodes as [] rather than null.
+func paginate[T any](items []T, limit, offset int) []T {
+	if offset >= len(items) {
+		return []T{}
+	}
+	items = items[offset:]
+	if limit >= 0 && limit < len(items) {
+		items = items[:limit]
+	}
+	return items
 }
 
 // decodeBody tolerates an empty request body.
@@ -251,7 +401,7 @@ func decodeBody(r *http.Request, v any) error {
 		return nil
 	}
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
+		return badRequest(fmt.Errorf("bad request body: %w", err))
 	}
 	return nil
 }

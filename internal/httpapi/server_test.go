@@ -2,12 +2,15 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -17,7 +20,7 @@ import (
 	"mcbound/internal/store"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+func seedStore(t *testing.T) *store.Store {
 	t.Helper()
 	st := store.New()
 	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -48,14 +51,30 @@ func testServer(t *testing.T) (*httptest.Server, *store.Store) {
 			t.Fatal(err)
 		}
 	}
-	fw, err := core.New(core.DefaultConfig(), fetch.StoreBackend{Store: st})
+	return st
+}
+
+func newAPI(t *testing.T, st *store.Store, backend fetch.Backend, train bool, opts Options) *Server {
+	t.Helper()
+	if backend == nil {
+		backend = fetch.StoreBackend{Store: st}
+	}
+	fw, err := core.New(core.DefaultConfig(), backend)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fw.Train(time.Date(2024, 1, 15, 0, 0, 0, 0, time.UTC)); err != nil {
-		t.Fatal(err)
+	if train {
+		if _, err := fw.Train(context.Background(), time.Date(2024, 1, 15, 0, 0, 0, 0, time.UTC)); err != nil {
+			t.Fatal(err)
+		}
 	}
-	srv := httptest.NewServer(New(fw, st, log.New(io.Discard, "", 0)))
+	return New(fw, st, log.New(io.Discard, "", 0), opts)
+}
+
+func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st := seedStore(t)
+	srv := httptest.NewServer(newAPI(t, st, nil, true, Options{}))
 	t.Cleanup(srv.Close)
 	return srv, st
 }
@@ -73,6 +92,13 @@ func getJSON(t *testing.T, url string, out any) int {
 		}
 	}
 	return resp.StatusCode
+}
+
+// envelope mirrors listEnvelope for decoding in tests.
+type envelope struct {
+	Items   []map[string]any `json:"items"`
+	Total   int              `json:"total"`
+	Skipped int              `json:"skipped"`
 }
 
 func TestHealthz(t *testing.T) {
@@ -97,6 +123,30 @@ func TestModelInfo(t *testing.T) {
 	}
 }
 
+func TestRequestIDHeader(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("no X-Request-Id on response")
+	}
+
+	// An upstream ID round-trips.
+	req, _ := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "load-balancer-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "load-balancer-7" {
+		t.Errorf("request ID not propagated: %q", got)
+	}
+}
+
 func TestClassifyByID(t *testing.T) {
 	srv, _ := testServer(t)
 	var pred struct {
@@ -109,29 +159,74 @@ func TestClassifyByID(t *testing.T) {
 	if pred.JobID != "s0000" || pred.Class != "memory-bound" {
 		t.Errorf("pred = %+v", pred)
 	}
-	if code := getJSON(t, srv.URL+"/v1/classify/nope", nil); code != http.StatusNotFound {
+	var e errorBody
+	if code := getJSON(t, srv.URL+"/v1/classify/nope", &e); code != http.StatusNotFound {
 		t.Errorf("missing job status = %d", code)
+	}
+	if e.Code != "not_found" {
+		t.Errorf("missing job code = %q, want not_found", e.Code)
 	}
 }
 
-func TestClassifyRange(t *testing.T) {
+func TestClassifyRangeEnvelope(t *testing.T) {
 	srv, _ := testServer(t)
 	u := srv.URL + "/v1/classify?start=2024-01-10T00:00:00Z&end=2024-01-12T00:00:00Z"
-	var preds []map[string]any
-	if code := getJSON(t, u, &preds); code != http.StatusOK {
+	var env envelope
+	if code := getJSON(t, u, &env); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	if len(preds) != 12 { // 2 days * 6 jobs/day
-		t.Errorf("classified %d jobs, want 12", len(preds))
+	if env.Total != 12 || len(env.Items) != 12 { // 2 days * 6 jobs/day
+		t.Errorf("total=%d items=%d, want 12/12", env.Total, len(env.Items))
 	}
-	// Missing parameters → 400.
-	if code := getJSON(t, srv.URL+"/v1/classify?start=2024-01-10T00:00:00Z", nil); code != http.StatusBadRequest {
+	// Missing parameters → 400 bad_request.
+	var e errorBody
+	if code := getJSON(t, srv.URL+"/v1/classify?start=2024-01-10T00:00:00Z", &e); code != http.StatusBadRequest {
 		t.Errorf("missing end status = %d", code)
+	}
+	if e.Code != "bad_request" {
+		t.Errorf("missing end code = %q", e.Code)
 	}
 	// Reversed range → 400.
 	u = srv.URL + "/v1/classify?start=2024-01-12T00:00:00Z&end=2024-01-10T00:00:00Z"
 	if code := getJSON(t, u, nil); code != http.StatusBadRequest {
 		t.Errorf("reversed range status = %d", code)
+	}
+}
+
+func TestPagination(t *testing.T) {
+	srv, _ := testServer(t)
+	base := srv.URL + "/v1/classify?start=2024-01-10T00:00:00Z&end=2024-01-12T00:00:00Z"
+
+	var env envelope
+	if code := getJSON(t, base+"&limit=5", &env); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if env.Total != 12 || len(env.Items) != 5 {
+		t.Errorf("limit=5: total=%d items=%d, want 12/5", env.Total, len(env.Items))
+	}
+	first := env.Items[0]["job_id"]
+
+	if code := getJSON(t, base+"&limit=5&offset=5", &env); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if env.Total != 12 || len(env.Items) != 5 || env.Items[0]["job_id"] == first {
+		t.Errorf("offset=5 page wrong: total=%d items=%d first=%v", env.Total, len(env.Items), env.Items[0]["job_id"])
+	}
+
+	// Offset past the end → empty items, total intact.
+	if code := getJSON(t, base+"&offset=100", &env); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if env.Total != 12 || len(env.Items) != 0 {
+		t.Errorf("offset past end: total=%d items=%d", env.Total, len(env.Items))
+	}
+
+	// Bad pagination params → 400.
+	for _, q := range []string{"&limit=-1", "&limit=x", "&offset=-2"} {
+		var e errorBody
+		if code := getJSON(t, base+q, &e); code != http.StatusBadRequest || e.Code != "bad_request" {
+			t.Errorf("%s: status %d code %q", q, code, e.Code)
+		}
 	}
 }
 
@@ -160,6 +255,19 @@ func TestClassifyPostedJobs(t *testing.T) {
 	}
 }
 
+func TestNotTrainedReturns503(t *testing.T) {
+	st := seedStore(t)
+	srv := httptest.NewServer(newAPI(t, st, nil, false, Options{}))
+	defer srv.Close()
+	var e errorBody
+	if code := getJSON(t, srv.URL+"/v1/classify/s0000", &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", code)
+	}
+	if e.Code != "not_trained" {
+		t.Errorf("code = %q, want not_trained", e.Code)
+	}
+}
+
 func TestTrainEndpoint(t *testing.T) {
 	srv, _ := testServer(t)
 	body, _ := json.Marshal(map[string]string{"now": "2024-01-20T00:00:00Z"})
@@ -178,15 +286,17 @@ func TestTrainEndpoint(t *testing.T) {
 	if rep["labeled_jobs"].(float64) <= 0 {
 		t.Errorf("train report = %v", rep)
 	}
-	// Bad timestamp → 400.
+	// Bad timestamp → 400 bad_request.
 	resp2, err := http.Post(srv.URL+"/v1/train", "application/json",
 		bytes.NewReader([]byte(`{"now":"yesterday"}`)))
 	if err != nil {
 		t.Fatal(err)
 	}
+	var e errorBody
+	json.NewDecoder(resp2.Body).Decode(&e)
 	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad now status = %d", resp2.StatusCode)
+	if resp2.StatusCode != http.StatusBadRequest || e.Code != "bad_request" {
+		t.Errorf("bad now: status %d code %q", resp2.StatusCode, e.Code)
 	}
 }
 
@@ -212,56 +322,127 @@ func TestInsertEndpoint(t *testing.T) {
 	if st.Len() != before+1 {
 		t.Errorf("store len %d, want %d", st.Len(), before+1)
 	}
-	// Invalid job → 400, not inserted.
-	bad, _ := json.Marshal([]*job.Job{{ID: "bad"}})
-	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(bad))
+}
+
+func TestInsertAtomicRejection(t *testing.T) {
+	srv, st := testServer(t)
+	before := st.Len()
+	submit := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(id string) *job.Job {
+		return &job.Job{
+			ID: id, User: "u0002", Name: "app", CoresRequested: 48,
+			NodesRequested: 1, FreqRequested: job.FreqNormal, SubmitTime: submit,
+		}
+	}
+	batch := []*job.Job{mk("ok0"), mk("ok1"), {ID: "bad2"}, mk("ok3")}
+	payload, _ := json.Marshal(batch)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("invalid job status = %d", resp.StatusCode)
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "invalid_job" {
+		t.Errorf("code = %q, want invalid_job", e.Code)
+	}
+	if e.Index == nil || *e.Index != 2 {
+		t.Errorf("index = %v, want 2", e.Index)
+	}
+	// Atomic: the valid records before the bad one were NOT inserted.
+	if st.Len() != before {
+		t.Errorf("store len %d, want %d (batch must be rejected whole)", st.Len(), before)
 	}
 }
 
-func TestCharacterizeEndpoint(t *testing.T) {
-	srv, _ := testServer(t)
-	u := srv.URL + "/v1/characterize?start=2024-01-01T00:00:00Z&end=2024-01-03T00:00:00Z"
-	var rows []struct {
-		JobID     string  `json:"job_id"`
-		Class     string  `json:"class"`
-		Intensity float64 `json:"op_intensity"`
+func TestBodyCap(t *testing.T) {
+	st := seedStore(t)
+	srv := httptest.NewServer(newAPI(t, st, nil, true, Options{MaxBodyBytes: 256}))
+	defer srv.Close()
+	// A syntactically valid batch well past the cap, so the decoder
+	// consumes the body until MaxBytesReader cuts it off.
+	submit := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	var batch []*job.Job
+	for i := 0; i < 50; i++ {
+		batch = append(batch, &job.Job{
+			ID: fmt.Sprintf("big%04d", i), User: "u0002", Name: "app",
+			CoresRequested: 48, NodesRequested: 1, FreqRequested: job.FreqNormal,
+			SubmitTime: submit,
+		})
 	}
-	if code := getJSON(t, u, &rows); code != http.StatusOK {
+	big, _ := json.Marshal(batch)
+	if len(big) <= 256 {
+		t.Fatalf("test payload too small: %d bytes", len(big))
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "body_too_large" {
+		t.Errorf("code = %q, want body_too_large", e.Code)
+	}
+}
+
+func TestCharacterizeEnvelope(t *testing.T) {
+	srv, st := testServer(t)
+	// One executed job without counters: characterization must skip it
+	// and report it instead of dropping it silently.
+	submit := time.Date(2024, 1, 2, 0, 0, 0, 0, time.UTC)
+	if err := st.Insert(&job.Job{
+		ID: "nocounters", User: "u0009", Name: "mystery", CoresRequested: 48,
+		NodesRequested: 1, NodesAllocated: 1, FreqRequested: job.FreqNormal,
+		SubmitTime: submit, StartTime: submit.Add(time.Minute), EndTime: submit.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	u := srv.URL + "/v1/characterize?start=2024-01-01T00:00:00Z&end=2024-01-03T00:00:00Z"
+	var env envelope
+	if code := getJSON(t, u, &env); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	if len(rows) != 12 {
-		t.Fatalf("characterized %d jobs, want 12", len(rows))
+	if env.Total != 12 || len(env.Items) != 12 {
+		t.Fatalf("characterized total=%d items=%d, want 12", env.Total, len(env.Items))
 	}
-	for _, r := range rows {
-		if r.Class != "memory-bound" && r.Class != "compute-bound" {
-			t.Errorf("row %s class %q", r.JobID, r.Class)
+	if env.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the counter-less job)", env.Skipped)
+	}
+	for _, row := range env.Items {
+		if c := row["class"]; c != "memory-bound" && c != "compute-bound" {
+			t.Errorf("row %v class %v", row["job_id"], c)
 		}
-		if r.Intensity <= 0 {
-			t.Errorf("row %s intensity %g", r.JobID, r.Intensity)
+		if row["op_intensity"].(float64) <= 0 {
+			t.Errorf("row %v intensity %v", row["job_id"], row["op_intensity"])
 		}
 	}
 }
 
 func TestBadPayloadsRejected(t *testing.T) {
 	srv, _ := testServer(t)
-	// Malformed JSON to the classify and insert endpoints.
 	for _, path := range []string{"/v1/classify", "/v1/jobs"} {
 		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader([]byte("{not json")))
 		if err != nil {
 			t.Fatal(err)
 		}
+		var e errorBody
+		json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s with bad JSON: status %d", path, resp.StatusCode)
+		if resp.StatusCode != http.StatusBadRequest || e.Code != "bad_request" {
+			t.Errorf("%s with bad JSON: status %d code %q", path, resp.StatusCode, e.Code)
 		}
 	}
-	// Malformed timestamps on the range endpoints.
 	for _, u := range []string{
 		"/v1/classify?start=tomorrow&end=2024-01-12T00:00:00Z",
 		"/v1/characterize?start=2024-01-10T00:00:00Z&end=never",
@@ -277,7 +458,7 @@ func TestTrainEmptyBodyUsesWallClock(t *testing.T) {
 	srv, _ := testServer(t)
 	// An empty body means "train as of now"; the trace ends in January
 	// 2024, so the wall-clock window is empty and the server reports a
-	// clean 500 with a JSON error body rather than crashing.
+	// clean 500 with the error envelope rather than crashing.
 	resp, err := http.Post(srv.URL+"/v1/train", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -286,10 +467,136 @@ func TestTrainEmptyBodyUsesWallClock(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Errorf("status %d, want 500 for an empty window", resp.StatusCode)
 	}
-	var e struct {
-		Error string `json:"error"`
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" || e.Code != "internal" {
+		t.Errorf("error envelope wrong: %v, %+v", err, e)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
-		t.Errorf("error body missing: %v, %+v", err, e)
+}
+
+func TestNoStringMatchedErrors(t *testing.T) {
+	// Guard for the API redesign: the handler layer must branch on
+	// typed sentinels, never on error text.
+	status, code := errToStatus(fmt.Errorf("wrap: %w", store.ErrNotFound))
+	if status != http.StatusNotFound || code != "not_found" {
+		t.Errorf("ErrNotFound → %d/%s", status, code)
+	}
+	status, code = errToStatus(fmt.Errorf("wrap: %w", core.ErrNotTrained))
+	if status != http.StatusServiceUnavailable || code != "not_trained" {
+		t.Errorf("ErrNotTrained → %d/%s", status, code)
+	}
+	status, code = errToStatus(fmt.Errorf("wrap: %w", job.ErrInvalid))
+	if status != http.StatusBadRequest || code != "invalid_job" {
+		t.Errorf("ErrInvalid → %d/%s", status, code)
+	}
+	status, code = errToStatus(badRequest(fmt.Errorf("nope")))
+	if status != http.StatusBadRequest || code != "bad_request" {
+		t.Errorf("badRequest → %d/%s", status, code)
+	}
+	status, code = errToStatus(context.DeadlineExceeded)
+	if status != http.StatusGatewayTimeout || code != "deadline_exceeded" {
+		t.Errorf("DeadlineExceeded → %d/%s", status, code)
+	}
+	status, code = errToStatus(fmt.Errorf("boom"))
+	if status != http.StatusInternalServerError || code != "internal" {
+		t.Errorf("unknown → %d/%s", status, code)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := testServer(t)
+	// Generate some traffic first.
+	getJSON(t, srv.URL+"/healthz", nil)
+	getJSON(t, srv.URL+"/v1/classify/s0000", nil)
+	getJSON(t, srv.URL+"/v1/classify?start=2024-01-10T00:00:00Z&end=2024-01-12T00:00:00Z", nil)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	out := string(raw)
+	for _, want := range []string{
+		`mcbound_http_requests_total{code="200",method="GET",route="GET /healthz"}`,
+		`mcbound_http_request_duration_seconds_bucket{route="GET /v1/classify/{id}",le="+Inf"}`,
+		"mcbound_store_jobs 200",
+		"mcbound_classify_jobs_total 13", // 1 by-ID + 12 in the range
+		"# TYPE mcbound_http_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// slowBackend delays range fetches so a request can be caught in
+// flight during shutdown.
+type slowBackend struct {
+	fetch.Backend
+	delay time.Duration
+}
+
+func (b slowBackend) SubmittedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	select {
+	case <-time.After(b.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return b.Backend.SubmittedBetween(ctx, start, end)
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	st := seedStore(t)
+	api := newAPI(t, st, slowBackend{Backend: fetch.StoreBackend{Store: st}, delay: 300 * time.Millisecond}, true, Options{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(ln.Addr().String(), api)
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(ctx, srv, ln, 5*time.Second) }()
+
+	// Fire a classify request that will still be in flight when the
+	// shutdown starts.
+	type reply struct {
+		code int
+		env  envelope
+		err  error
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() +
+			"/v1/classify?start=2024-01-10T00:00:00Z&end=2024-01-12T00:00:00Z")
+		if err != nil {
+			replies <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var env envelope
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		replies <- reply{code: resp.StatusCode, env: env, err: err}
+	}()
+
+	time.Sleep(100 * time.Millisecond) // let the request reach the slow fetch
+	cancel()                           // SIGTERM equivalent
+
+	r := <-replies
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.code != http.StatusOK || r.env.Total != 12 {
+		t.Errorf("in-flight request: status %d total %d, want 200/12", r.code, r.env.Total)
+	}
+	if err := <-serveDone; err != nil {
+		t.Errorf("Serve returned %v, want nil after clean drain", err)
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
 	}
 }

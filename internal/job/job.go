@@ -5,6 +5,7 @@
 package job
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -114,23 +115,28 @@ func (j *Job) Completed(now time.Time) bool {
 	return !j.EndTime.IsZero() && !j.EndTime.After(now)
 }
 
-// Validate performs basic sanity checks on a job record.
+// ErrInvalid is the sentinel wrapped by Validate failures; callers
+// branch with errors.Is (the HTTP layer maps it to 400).
+var ErrInvalid = errors.New("invalid job record")
+
+// Validate performs basic sanity checks on a job record. Failures wrap
+// ErrInvalid.
 func (j *Job) Validate() error {
 	switch {
 	case j.ID == "":
-		return fmt.Errorf("job: empty id")
+		return fmt.Errorf("job: empty id: %w", ErrInvalid)
 	case j.User == "":
-		return fmt.Errorf("job %s: empty user", j.ID)
+		return fmt.Errorf("job %s: empty user: %w", j.ID, ErrInvalid)
 	case j.NodesRequested <= 0:
-		return fmt.Errorf("job %s: nodes_req %d <= 0", j.ID, j.NodesRequested)
+		return fmt.Errorf("job %s: nodes_req %d <= 0: %w", j.ID, j.NodesRequested, ErrInvalid)
 	case j.CoresRequested <= 0:
-		return fmt.Errorf("job %s: cores_req %d <= 0", j.ID, j.CoresRequested)
+		return fmt.Errorf("job %s: cores_req %d <= 0: %w", j.ID, j.CoresRequested, ErrInvalid)
 	case !j.EndTime.IsZero() && j.EndTime.Before(j.StartTime):
-		return fmt.Errorf("job %s: end before start", j.ID)
+		return fmt.Errorf("job %s: end before start: %w", j.ID, ErrInvalid)
 	case !j.StartTime.IsZero() && j.StartTime.Before(j.SubmitTime):
-		return fmt.Errorf("job %s: start before submit", j.ID)
+		return fmt.Errorf("job %s: start before submit: %w", j.ID, ErrInvalid)
 	case j.FreqRequested != FreqNormal && j.FreqRequested != FreqBoost:
-		return fmt.Errorf("job %s: invalid frequency %d", j.ID, j.FreqRequested)
+		return fmt.Errorf("job %s: invalid frequency %d: %w", j.ID, j.FreqRequested, ErrInvalid)
 	}
 	return nil
 }

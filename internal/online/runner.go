@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,8 +56,10 @@ type Result struct {
 	AvgInferencePerJob time.Duration
 }
 
-// Run executes the schedule for params over [testStart, testEnd).
-func (r *Runner) Run(p Params, testStart, testEnd time.Time) (*Result, error) {
+// Run executes the schedule for params over [testStart, testEnd). The
+// context bounds every fetch and is checked between triggers, so a
+// canceled replay stops at the next trigger boundary.
+func (r *Runner) Run(ctx context.Context, p Params, testStart, testEnd time.Time) (*Result, error) {
 	if err := r.check(); err != nil {
 		return nil, err
 	}
@@ -72,8 +75,11 @@ func (r *Runner) Run(p Params, testStart, testEnd time.Time) (*Result, error) {
 	var trainRows int
 
 	for _, tr := range triggers {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("online: run canceled: %w", err)
+		}
 		// ---- Training Workflow ----
-		window, err := r.Fetcher.FetchExecuted(tr.TrainStart, tr.TrainEnd)
+		window, err := r.Fetcher.FetchExecuted(ctx, tr.TrainStart, tr.TrainEnd)
 		if err != nil {
 			return nil, fmt.Errorf("online: fetch training window: %w", err)
 		}
@@ -117,7 +123,7 @@ func (r *Runner) Run(p Params, testStart, testEnd time.Time) (*Result, error) {
 		res.Retrainings++
 
 		// ---- Inference Workflow ----
-		submitted, err := r.Fetcher.FetchSubmitted(tr.InferStart, tr.InferEnd)
+		submitted, err := r.Fetcher.FetchSubmitted(ctx, tr.InferStart, tr.InferEnd)
 		if err != nil {
 			return nil, fmt.Errorf("online: fetch inference window: %w", err)
 		}

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -85,7 +86,7 @@ func TestRunnerKNNEndToEnd(t *testing.T) {
 	r.Encoder = encode.NewEncoder(nil, nil)
 	r.Model = knn.New(knn.DefaultConfig())
 	start, end := testPeriod()
-	res, err := r.Run(Params{Alpha: 15, Beta: 1}, start, end)
+	res, err := r.Run(context.Background(), Params{Alpha: 15, Beta: 1}, start, end)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRunnerBaselineEndToEnd(t *testing.T) {
 	r := newRunner(t, handTrace(t))
 	r.JobModel = baseline.New()
 	start, end := testPeriod()
-	res, err := r.Run(Params{Alpha: 15, Beta: 7}, start, end)
+	res, err := r.Run(context.Background(), Params{Alpha: 15, Beta: 7}, start, end)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestRunnerThetaSubsampling(t *testing.T) {
 	r.Encoder = encode.NewEncoder(nil, nil)
 	r.Model = knn.New(knn.DefaultConfig())
 	start, end := testPeriod()
-	res, err := r.Run(Params{Alpha: 15, Beta: 1, Theta: 32, ThetaMode: ThetaRandom, Seed: 9}, start, end)
+	res, err := r.Run(context.Background(), Params{Alpha: 15, Beta: 1, Theta: 32, ThetaMode: ThetaRandom, Seed: 9}, start, end)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,13 +148,13 @@ func TestRunnerChecksWiring(t *testing.T) {
 	start, end := testPeriod()
 
 	r := newRunner(t, st)
-	if _, err := r.Run(Params{Alpha: 15, Beta: 1}, start, end); err == nil ||
+	if _, err := r.Run(context.Background(), Params{Alpha: 15, Beta: 1}, start, end); err == nil ||
 		!strings.Contains(err.Error(), "Encoder+Model or JobModel") {
 		t.Errorf("missing model wiring not caught: %v", err)
 	}
 
 	r = &Runner{}
-	if _, err := r.Run(Params{Alpha: 15, Beta: 1}, start, end); err == nil {
+	if _, err := r.Run(context.Background(), Params{Alpha: 15, Beta: 1}, start, end); err == nil {
 		t.Error("nil fetcher not caught")
 	}
 }
@@ -165,7 +166,7 @@ func TestRunnerEmptyWindowFails(t *testing.T) {
 	r.Encoder = encode.NewEncoder(nil, nil)
 	r.Model = knn.New(knn.DefaultConfig())
 	early := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
-	if _, err := r.Run(Params{Alpha: 5, Beta: 1}, early, early.AddDate(0, 0, 3)); err == nil {
+	if _, err := r.Run(context.Background(), Params{Alpha: 5, Beta: 1}, early, early.AddDate(0, 0, 3)); err == nil {
 		t.Error("empty training window did not fail")
 	}
 }

@@ -12,6 +12,7 @@
 package simulate
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -83,8 +84,9 @@ type Replay struct {
 
 // Run replays [start, end): an initial Training Workflow at start (the
 // deploy script), then alternating inference-over-the-last-β-days and
-// retraining, until the period is exhausted.
-func (r *Replay) Run(start, end time.Time) (*Timeline, error) {
+// retraining, until the period is exhausted. Canceling the context
+// aborts the replay at the next trigger boundary.
+func (r *Replay) Run(ctx context.Context, start, end time.Time) (*Timeline, error) {
 	if r.Framework == nil {
 		return nil, fmt.Errorf("simulate: nil framework")
 	}
@@ -95,7 +97,7 @@ func (r *Replay) Run(start, end time.Time) (*Timeline, error) {
 	tl := &Timeline{}
 
 	train := func(now time.Time) error {
-		rep, err := r.Framework.Train(now)
+		rep, err := r.Framework.Train(ctx, now)
 		if err != nil {
 			return fmt.Errorf("simulate: training at %v: %w", now, err)
 		}
@@ -116,11 +118,14 @@ func (r *Replay) Run(start, end time.Time) (*Timeline, error) {
 	}
 
 	for now := start; now.Before(end); now = now.AddDate(0, 0, beta) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("simulate: replay canceled: %w", err)
+		}
 		windowEnd := now.AddDate(0, 0, beta)
 		if windowEnd.After(end) {
 			windowEnd = end
 		}
-		preds, err := r.Framework.ClassifySubmitted(now, windowEnd)
+		preds, err := r.Framework.ClassifySubmitted(ctx, now, windowEnd)
 		if err != nil {
 			return nil, fmt.Errorf("simulate: inference at %v: %w", now, err)
 		}

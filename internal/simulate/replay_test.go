@@ -2,6 +2,7 @@ package simulate
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -70,7 +71,7 @@ func TestReplayTimeline(t *testing.T) {
 
 	start := time.Date(2024, 1, 15, 0, 0, 0, 0, time.UTC)
 	end := time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC)
-	tl, err := r.Run(start, end)
+	tl, err := r.Run(context.Background(), start, end)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestReplayTimeline(t *testing.T) {
 func TestReplayValidation(t *testing.T) {
 	r := &Replay{}
 	now := time.Now()
-	if _, err := r.Run(now, now.Add(time.Hour)); err == nil {
+	if _, err := r.Run(context.Background(), now, now.Add(time.Hour)); err == nil {
 		t.Error("accepted nil framework")
 	}
 	st := replayStore(t)
@@ -120,7 +121,7 @@ func TestReplayValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	r = &Replay{Framework: fw}
-	if _, err := r.Run(now, now); err == nil {
+	if _, err := r.Run(context.Background(), now, now); err == nil {
 		t.Error("accepted empty period")
 	}
 }
@@ -136,7 +137,7 @@ func TestReplayModelVersionsAdvance(t *testing.T) {
 	}
 	r := &Replay{Framework: fw}
 	start := time.Date(2024, 1, 15, 0, 0, 0, 0, time.UTC)
-	tl, err := r.Run(start, start.AddDate(0, 0, 9))
+	tl, err := r.Run(context.Background(), start, start.AddDate(0, 0, 9))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -23,6 +24,10 @@ import (
 // by ID and kept ordered by EndTime for range scans (the Training
 // Workflow queries by completion interval, matching the paper's
 // fetch(start_time, end_time)).
+// ErrNotFound is the sentinel wrapped by lookups for absent job IDs;
+// callers branch with errors.Is (the HTTP layer maps it to 404).
+var ErrNotFound = errors.New("job not found")
+
 type Store struct {
 	mu     sync.RWMutex
 	byID   map[string]*job.Job
@@ -76,7 +81,7 @@ func (s *Store) Get(id string) (*job.Job, error) {
 	defer s.mu.RUnlock()
 	j, ok := s.byID[id]
 	if !ok {
-		return nil, fmt.Errorf("store: job %q not found", id)
+		return nil, fmt.Errorf("store: job %q: %w", id, ErrNotFound)
 	}
 	return j, nil
 }

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDInjection(t *testing.T) {
+	var seen string
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+
+	// Generated when absent.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if seen == "" {
+		t.Fatal("no request ID in context")
+	}
+	if got := rr.Header().Get(RequestIDHeader); got != seen {
+		t.Errorf("response header %q != context ID %q", got, seen)
+	}
+
+	// A sane incoming ID propagates.
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "upstream-42")
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if seen != "upstream-42" {
+		t.Errorf("incoming ID not honored: got %q", seen)
+	}
+
+	// A garbage incoming ID is replaced.
+	req = httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "bad id\nwith newline")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if seen == "bad id\nwith newline" {
+		t.Error("garbage incoming ID was honored")
+	}
+}
+
+func TestRecoverPanicToJSON500(t *testing.T) {
+	var logBuf bytes.Buffer
+	h := Recover(log.New(&logBuf, "", 0))(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("body is not JSON: %v (%q)", err, rr.Body.String())
+	}
+	if body.Error == "" || body.Code != "internal" {
+		t.Errorf("body = %+v", body)
+	}
+	if !strings.Contains(logBuf.String(), "boom") {
+		t.Error("panic value not logged")
+	}
+}
+
+func TestRecoverAfterResponseStarted(t *testing.T) {
+	h := Recover(log.New(io.Discard, "", 0))(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late boom")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != http.StatusAccepted {
+		t.Errorf("status rewritten to %d after response started", rr.Code)
+	}
+}
+
+func TestAccessLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}), RequestID, AccessLog(log.New(&buf, "", 0)))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/pot", nil))
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/v1/pot", "status=418", "bytes=15", "request_id="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestInstrumentCountsAndBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := Instrument(reg, "GET /v1/thing")(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/thing", nil))
+	}
+	c := reg.Counter("mcbound_http_requests_total", "",
+		Labels{"route": "GET /v1/thing", "method": "GET", "code": "200"})
+	if c.Value() != 3 {
+		t.Errorf("requests_total = %d, want 3", c.Value())
+	}
+	hist := reg.Histogram("mcbound_http_request_duration_seconds", "", nil,
+		Labels{"route": "GET /v1/thing"})
+	if hist.Count() != 3 {
+		t.Errorf("histogram count = %d, want 3", hist.Count())
+	}
+	cum := hist.BucketCounts()
+	if cum[len(cum)-1] != 3 {
+		t.Errorf("+Inf bucket = %d, want 3", cum[len(cum)-1])
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		order = append(order, "handler")
+	}), mk("outer"), mk("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if strings.Join(order, ",") != "outer,inner,handler" {
+		t.Errorf("order = %v", order)
+	}
+}
