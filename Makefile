@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt fuzz check bench bench-all
 
 all: check
 
@@ -22,7 +23,19 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build vet fmt race
+# Short smoke runs of every fuzz target (go allows one -fuzz pattern
+# per invocation, so one line each).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=^FuzzTokenize$$ -fuzztime=$(FUZZTIME) ./internal/encode
+	$(GO) test -run=^$$ -fuzz=^FuzzEmbed$$ -fuzztime=$(FUZZTIME) ./internal/encode
+	$(GO) test -run=^$$ -fuzz=^FuzzReadJSONL$$ -fuzztime=$(FUZZTIME) ./internal/store
 
+check: build vet fmt race fuzz
+
+# Serving-path perf trajectory: single classify hot/cold in the
+# embedding cache, 1000-job batch serial vs. all cores, full train.
 bench:
+	$(GO) run ./cmd/mcbound-bench -out BENCH_serving.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -1,0 +1,239 @@
+// Command mcbound-bench measures the serving-path costs of the deployed
+// framework — single classify hot and cold in the embedding cache,
+// 1000-job batch classify serial vs. across every core, and a full
+// Training Workflow pass — and writes them as JSON (BENCH_serving.json
+// by default) so successive commits have a perf trajectory to compare
+// number to number.
+//
+// Usage:
+//
+//	mcbound-bench -out BENCH_serving.json
+//
+// The workload mirrors the serving benchmarks in internal/core
+// (BenchmarkClassifyBatch, BenchmarkClassifySingle, BenchmarkTrain): a
+// deterministic two-app trace whose shallow model keeps the serving
+// mechanics — cache lookups, worker fan-out, hot-swap reads — visible
+// instead of swamped by tree depth. The derived ratios are the two
+// acceptance numbers of the concurrency work: batch_speedup (workers-1
+// over workers-max, meaningful on multi-core hosts) and cache_speedup
+// (cold over hot single classify).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcbound/internal/core"
+	"mcbound/internal/encode"
+	"mcbound/internal/fetch"
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+// report is the BENCH_serving.json schema.
+type report struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	TraceJobs  int    `json:"trace_jobs"`
+
+	// ns/op per workload.
+	ClassifySingleHotNs  int64 `json:"classify_single_hot_ns"`
+	ClassifySingleColdNs int64 `json:"classify_single_cold_ns"`
+	ClassifyBatch1kW1Ns  int64 `json:"classify_batch1k_workers1_ns"`
+	ClassifyBatch1kWMxNs int64 `json:"classify_batch1k_workersmax_ns"`
+	TrainNs              int64 `json:"train_ns"`
+
+	// Derived ratios.
+	CacheSpeedup float64 `json:"cache_speedup"`
+	BatchSpeedup float64 `json:"batch_speedup"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serving.json", "output JSON path")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbound-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	st, err := servingStore()
+	if err != nil {
+		return err
+	}
+	fw, err := core.New(core.DefaultConfig(), fetch.StoreBackend{Store: st})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	trainAt := time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC)
+	if _, err := fw.Train(ctx, trainAt); err != nil {
+		return err
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		TraceJobs:  st.Len(),
+	}
+
+	one := benchBatch(1)
+	batch := benchBatch(1000)
+
+	fmt.Println("benchmarking single classify (cache hot)...")
+	fw.Encoder().SetCacheCapacity(encode.DefaultCacheCapacity)
+	fw.Encoder().ResetCache()
+	if _, err := fw.ClassifyJobs(ctx, one); err != nil { // warm
+		return err
+	}
+	rep.ClassifySingleHotNs = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustClassify(b, fw, ctx, one)
+		}
+	})
+
+	fmt.Println("benchmarking single classify (cache cold)...")
+	fw.Encoder().SetCacheCapacity(0)
+	fw.Encoder().ResetCache()
+	rep.ClassifySingleColdNs = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustClassify(b, fw, ctx, one)
+		}
+	})
+	fw.Encoder().SetCacheCapacity(encode.DefaultCacheCapacity)
+
+	fmt.Println("benchmarking 1000-job batch classify (workers=1)...")
+	prev := runtime.GOMAXPROCS(1)
+	rep.ClassifyBatch1kW1Ns = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustClassify(b, fw, ctx, batch)
+		}
+	})
+	runtime.GOMAXPROCS(prev)
+
+	fmt.Printf("benchmarking 1000-job batch classify (workers=%d)...\n", runtime.NumCPU())
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	rep.ClassifyBatch1kWMxNs = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustClassify(b, fw, ctx, batch)
+		}
+	})
+	runtime.GOMAXPROCS(prev)
+
+	fmt.Println("benchmarking full training pass...")
+	rep.TrainNs = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fw.Train(ctx, trainAt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if rep.ClassifySingleHotNs > 0 {
+		rep.CacheSpeedup = float64(rep.ClassifySingleColdNs) / float64(rep.ClassifySingleHotNs)
+	}
+	if rep.ClassifyBatch1kWMxNs > 0 {
+		rep.BatchSpeedup = float64(rep.ClassifyBatch1kW1Ns) / float64(rep.ClassifyBatch1kWMxNs)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: hot=%dns cold=%dns (cache ×%.1f), batch1k w1=%dns wmax=%dns (×%.2f), train=%dns\n",
+		out, rep.ClassifySingleHotNs, rep.ClassifySingleColdNs, rep.CacheSpeedup,
+		rep.ClassifyBatch1kW1Ns, rep.ClassifyBatch1kWMxNs, rep.BatchSpeedup, rep.TrainNs)
+	return nil
+}
+
+// nsPerOp runs fn under the testing benchmark driver and returns its
+// per-iteration cost.
+func nsPerOp(fn func(b *testing.B)) int64 {
+	return testing.Benchmark(fn).NsPerOp()
+}
+
+func mustClassify(b *testing.B, fw *core.Framework, ctx context.Context, jobs []*job.Job) {
+	preds, err := fw.ClassifyJobs(ctx, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(preds) != len(jobs) {
+		b.Fatal("short batch")
+	}
+}
+
+// servingStore is the two-app seed trace the internal/core serving
+// benchmarks train on: 31 days, six submissions per app per day, one
+// clean memory-bound and one clean compute-bound application.
+func servingStore() (*store.Store, error) {
+	st := store.New()
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	seq := 0
+	add := func(day int, name string, perfGF, bwGB float64) error {
+		submit := start.AddDate(0, 0, day)
+		durSec := 1800.0
+		err := st.Insert(&job.Job{
+			ID:             fmt.Sprintf("c%05d", seq),
+			User:           "u0001",
+			Name:           name,
+			Environment:    "gcc/12.2",
+			CoresRequested: 48,
+			NodesRequested: 1,
+			NodesAllocated: 1,
+			FreqRequested:  job.FreqNormal,
+			SubmitTime:     submit,
+			StartTime:      submit.Add(time.Minute),
+			EndTime:        submit.Add(31 * time.Minute),
+			Counters: job.PerfCounters{
+				Perf2: perfGF * 1e9 * durSec,
+				Perf4: bwGB * 1e9 * durSec * job.CoresPerCMG / job.CacheLineBytes,
+			},
+		})
+		seq++
+		return err
+	}
+	for day := 0; day < 31; day++ {
+		for i := 0; i < 6; i++ {
+			if err := add(day, "membound_app", 50, 50); err != nil {
+				return nil, err
+			}
+			if err := add(day, "compbound_app", 300, 5); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// benchBatch mirrors the in-package serving benchmark workload: n
+// submitted jobs over a small set of repeating feature strings.
+func benchBatch(n int) []*job.Job {
+	submit := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	batch := make([]*job.Job, n)
+	for i := range batch {
+		batch[i] = &job.Job{
+			ID:             fmt.Sprintf("b%05d", i),
+			User:           fmt.Sprintf("u%04d", i%17),
+			Name:           fmt.Sprintf("svc_app_%02d", i%50),
+			Environment:    "gcc/12.2",
+			CoresRequested: 48,
+			NodesRequested: 1,
+			FreqRequested:  job.FreqNormal,
+			SubmitTime:     submit.Add(time.Duration(i) * time.Second),
+		}
+	}
+	return batch
+}

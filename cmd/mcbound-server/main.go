@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"mcbound/internal/core"
+	"mcbound/internal/encode"
 	"mcbound/internal/experiments"
 	"mcbound/internal/fetch"
 	"mcbound/internal/httpapi"
@@ -48,6 +49,7 @@ type options struct {
 	pprof        bool
 	retrainEvery time.Duration
 	drainTimeout time.Duration
+	encodeCache  int
 }
 
 func main() {
@@ -66,6 +68,7 @@ func main() {
 	flag.BoolVar(&o.pprof, "pprof", false, "expose /debug/pprof/* on the API port")
 	flag.DurationVar(&o.retrainEvery, "retrain-every", 0, "wall-clock retraining period for the cron ticker (0 = disabled)")
 	flag.DurationVar(&o.drainTimeout, "shutdown-timeout", httpapi.DefaultDrainTimeout, "in-flight request drain budget on shutdown")
+	flag.IntVar(&o.encodeCache, "encode-cache", encode.DefaultCacheCapacity, "embedding cache capacity in entries (0 = disabled)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -108,6 +111,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	fw.Encoder().SetCacheCapacity(o.encodeCache)
 
 	// Initial Training Workflow (the deploy script of §III-E).
 	now := time.Now().UTC()

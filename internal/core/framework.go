@@ -3,6 +3,14 @@
 // CI/CD workflows of the paper's Figure 1: the Training Workflow
 // (periodic retraining on recent data) and the Inference Workflow
 // (classification of newly submitted jobs before execution).
+//
+// The serving path is lock-free: the currently deployed model, its
+// version and its training instant live in one immutable modelState
+// published through an atomic pointer, so a retrain never blocks a
+// classification and a classification always observes a consistent
+// (model, version, trained-at) triple. Overlapping Training Workflow
+// triggers are single-flighted: the first caller trains, later callers
+// wait for — and share — its result instead of racing a second fit.
 package core
 
 import (
@@ -10,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcbound/internal/encode"
@@ -51,6 +60,12 @@ type Config struct {
 	KNN   knn.Config
 	RF    rf.Config
 
+	// ModelFactory, when non-nil, overrides Model/KNN/RF: every Training
+	// Workflow trigger calls it for the fresh Classifier instance it
+	// fits. It is the injection seam for custom algorithms and for the
+	// concurrency tests, which need gated or instrumented models.
+	ModelFactory func() (ml.Classifier, error)
+
 	// Alpha is the training window (days of recent executed jobs);
 	// Beta the retraining period in days.
 	Alpha, Beta int
@@ -72,6 +87,25 @@ func DefaultConfig() Config {
 	}
 }
 
+// modelState is the immutable snapshot the Inference Workflow serves
+// from. A retrain builds a whole new state and publishes it with one
+// atomic store, so readers can never observe a torn (model, version)
+// pair or a model that has not finished fitting.
+type modelState struct {
+	model     ml.Classifier
+	trained   bool
+	version   int // registry version, 0 when persistence is disabled
+	trainedAt time.Time
+}
+
+// trainCall is one in-flight Training Workflow execution shared by
+// coalesced callers.
+type trainCall struct {
+	done chan struct{} // closed when rep/err are final
+	rep  *TrainReport
+	err  error
+}
+
 // Framework is a deployed MCBound instance.
 type Framework struct {
 	cfg           Config
@@ -80,11 +114,16 @@ type Framework struct {
 	characterizer *roofline.Characterizer
 	registry      *persist.Registry
 
-	mu      sync.RWMutex
-	model   ml.Classifier
-	trained bool
-	version int
-	lastRun time.Time
+	// state is the hot-swapped serving snapshot; never nil after New.
+	state atomic.Pointer[modelState]
+
+	// trainMu guards inflight (the single-flight slot). It is never held
+	// while fetching, characterizing, encoding or fitting — only for the
+	// pointer bookkeeping around a trigger.
+	trainMu    sync.Mutex
+	inflight   *trainCall
+	inflightN  atomic.Int32 // 0 or 1; sampled by the train-inflight gauge
+	coalescedN atomic.Int64 // triggers absorbed by an in-flight train
 }
 
 // New builds a Framework over a jobs-data-storage backend.
@@ -111,8 +150,10 @@ func New(cfg Config, backend fetch.Backend) (*Framework, error) {
 		fetcher:       f,
 		encoder:       encode.NewEncoder(cfg.Features, nil),
 		characterizer: roofline.NewCharacterizer(roofline.ModelFor(cfg.Machine)),
-		model:         model,
 	}
+	// The pre-training state carries an unfitted instance so ModelInfo
+	// can report the algorithm name before the first swap.
+	fw.state.Store(&modelState{model: model})
 	if cfg.ModelDir != "" {
 		reg, err := persist.NewRegistry(cfg.ModelDir)
 		if err != nil {
@@ -124,6 +165,9 @@ func New(cfg Config, backend fetch.Backend) (*Framework, error) {
 }
 
 func buildModel(cfg Config) (ml.Classifier, error) {
+	if cfg.ModelFactory != nil {
+		return cfg.ModelFactory()
+	}
 	switch cfg.Model {
 	case ModelKNN:
 		return knn.New(cfg.KNN), nil
@@ -154,14 +198,68 @@ type TrainReport struct {
 	SkippedJobs            int
 	TrainDuration          time.Duration
 	ModelVersion           int // 0 when persistence is disabled
+
+	// Coalesced marks a trigger that arrived while another train was in
+	// flight and therefore shares that train's result instead of having
+	// fitted a model itself.
+	Coalesced bool
 }
+
+// TrainingInFlight reports whether a Training Workflow is currently
+// executing (sampled by the mcbound_train_inflight gauge).
+func (f *Framework) TrainingInFlight() bool { return f.inflightN.Load() > 0 }
+
+// CoalescedTrains returns how many triggers were absorbed by an
+// in-flight train instead of fitting their own model.
+func (f *Framework) CoalescedTrains() int64 { return f.coalescedN.Load() }
 
 // Train runs the Training Workflow as of now: fetch the jobs executed in
 // the last α days, characterize them, encode them and train a fresh
-// Classification Model instance, saving it to the registry when
-// configured. The context bounds the fetch and is re-checked between
-// the expensive phases so a canceled trigger stops early.
+// Classification Model instance entirely outside any lock, then publish
+// it with an atomic hot-swap, saving it to the registry when configured.
+//
+// Overlapping triggers coalesce: if a train is already in flight the
+// call waits for it and returns its report with Coalesced set, so a slow
+// retrain under a burst of /v1/train requests and cron ticks fits one
+// model, not one per trigger. The context bounds the fetch, is
+// re-checked between the expensive phases, and also bounds a coalesced
+// caller's wait.
 func (f *Framework) Train(ctx context.Context, now time.Time) (*TrainReport, error) {
+	f.trainMu.Lock()
+	if c := f.inflight; c != nil {
+		f.trainMu.Unlock()
+		f.coalescedN.Add(1)
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("core: train coalesced wait: %w", ctx.Err())
+		}
+		if c.err != nil {
+			return c.rep, c.err
+		}
+		rep := *c.rep
+		rep.Coalesced = true
+		return &rep, nil
+	}
+	c := &trainCall{done: make(chan struct{})}
+	f.inflight = c
+	f.inflightN.Store(1)
+	f.trainMu.Unlock()
+
+	c.rep, c.err = f.train(ctx, now)
+
+	f.trainMu.Lock()
+	f.inflight = nil
+	f.inflightN.Store(0)
+	f.trainMu.Unlock()
+	close(c.done)
+	return c.rep, c.err
+}
+
+// train is the single-flighted Training Workflow body. It holds no lock:
+// the only synchronization with the serving path is the final atomic
+// publish.
+func (f *Framework) train(ctx context.Context, now time.Time) (*TrainReport, error) {
 	start := now.AddDate(0, 0, -f.cfg.Alpha)
 	window, err := f.fetcher.FetchExecuted(ctx, start, now)
 	if err != nil {
@@ -210,9 +308,10 @@ func (f *Framework) Train(ctx context.Context, now time.Time) (*TrainReport, err
 		rep.ModelVersion = v
 	}
 
-	f.mu.Lock()
-	f.model, f.trained, f.version, f.lastRun = model, true, rep.ModelVersion, now
-	f.mu.Unlock()
+	f.state.Store(&modelState{
+		model: model, trained: true,
+		version: rep.ModelVersion, trainedAt: now,
+	})
 	return rep, nil
 }
 
@@ -234,52 +333,56 @@ func (f *Framework) LoadLatest() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	f.mu.Lock()
-	f.model, f.trained, f.version = model, true, v
-	f.mu.Unlock()
+	f.state.Store(&modelState{
+		model: model, trained: true,
+		version: v, trainedAt: time.Now().UTC(),
+	})
 	return v, nil
 }
 
-// Prediction pairs a job with its predicted class.
+// Prediction pairs a job with its predicted class and the version of the
+// model that produced it.
 type Prediction struct {
-	JobID string    `json:"job_id"`
-	Label job.Label `json:"-"`
-	Class string    `json:"class"`
+	JobID        string    `json:"job_id"`
+	Label        job.Label `json:"-"`
+	Class        string    `json:"class"`
+	ModelVersion int       `json:"model_version"`
 }
 
 // Trained reports whether a model instance is available for inference.
-func (f *Framework) Trained() bool {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.trained
-}
+func (f *Framework) Trained() bool { return f.state.Load().trained }
 
-// ModelInfo describes the currently served model.
+// ModelInfo describes the currently served model. The triple comes from
+// one atomic snapshot, so it is always internally consistent even while
+// a retrain is publishing.
 func (f *Framework) ModelInfo() (name string, version int, trainedAt time.Time) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.model.Name(), f.version, f.lastRun
+	st := f.state.Load()
+	return st.model.Name(), st.version, st.trainedAt
 }
 
 // ClassifyJobs runs the Inference Workflow on explicit job records
-// (e.g. just-submitted jobs pushed by the scheduler hook).
+// (e.g. just-submitted jobs pushed by the scheduler hook). The batch is
+// encoded and predicted across a GOMAXPROCS-sized worker pool; result
+// order matches input order, and every prediction in the batch comes
+// from the same model snapshot.
 func (f *Framework) ClassifyJobs(ctx context.Context, jobs []*job.Job) ([]Prediction, error) {
-	f.mu.RLock()
-	model, trained := f.model, f.trained
-	f.mu.RUnlock()
-	if !trained {
+	st := f.state.Load()
+	if !st.trained {
 		return nil, ErrNotTrained
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	labels, err := model.Predict(f.encoder.Encode(jobs))
+	labels, err := predictBatch(ctx, st.model, f.encoder.Encode(jobs))
 	if err != nil {
 		return nil, fmt.Errorf("core: predict: %w", err)
 	}
 	out := make([]Prediction, len(jobs))
 	for i, j := range jobs {
-		out[i] = Prediction{JobID: j.ID, Label: labels[i], Class: labels[i].String()}
+		out[i] = Prediction{
+			JobID: j.ID, Label: labels[i], Class: labels[i].String(),
+			ModelVersion: st.version,
+		}
 	}
 	return out, nil
 }

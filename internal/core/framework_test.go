@@ -12,7 +12,7 @@ import (
 )
 
 // seedStore builds a deterministic two-app store covering January 2024.
-func seedStore(t *testing.T) *store.Store {
+func seedStore(t testing.TB) *store.Store {
 	t.Helper()
 	st := store.New()
 	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -53,7 +53,7 @@ func seedStore(t *testing.T) *store.Store {
 	return st
 }
 
-func newFramework(t *testing.T, cfg Config, st *store.Store) *Framework {
+func newFramework(t testing.TB, cfg Config, st *store.Store) *Framework {
 	t.Helper()
 	fw, err := New(cfg, fetch.StoreBackend{Store: st})
 	if err != nil {

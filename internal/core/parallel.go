@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"mcbound/internal/job"
+	"mcbound/internal/ml"
+)
+
+// minPredictChunk is the smallest per-worker slice worth a goroutine:
+// below it the spawn/copy overhead exceeds the prediction work, so small
+// batches (and the single-job path) stay on the caller's goroutine.
+const minPredictChunk = 64
+
+// predictBatch fans a batch of encoded rows across a GOMAXPROCS-sized
+// worker pool. Every row is independent (the ml.Classifier contract
+// requires concurrent-safe Predict after Train), so the batch is split
+// into contiguous chunks whose results are written straight into the
+// output slice — input order is preserved by construction. The first
+// chunk error cancels the remaining chunks via the derived context.
+func predictBatch(ctx context.Context, model ml.Classifier, enc [][]float32) ([]job.Label, error) {
+	n := len(enc)
+	workers := runtime.GOMAXPROCS(0)
+	if max := (n + minPredictChunk - 1) / minPredictChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return model.Predict(enc)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]job.Label, n)
+	chunk := (n + workers - 1) / workers
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
+			labels, err := model.Predict(enc[lo:hi])
+			if err != nil {
+				fail(err)
+				return
+			}
+			copy(out[lo:hi], labels)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -9,25 +9,20 @@ import (
 
 // Encoder is the MCBound Feature Encoder component: it filters the job
 // features, renders the comma-separated string and embeds it. Encodings
-// are memoized — the paper caches characterizations and encodings across
-// workflow triggers to avoid redundant computation — and batch encoding
-// is parallelized across cores.
+// are memoized in a sharded LRU keyed by the canonical feature string —
+// the paper caches characterizations and encodings across workflow
+// triggers to avoid redundant computation, and live submission streams
+// repeat feature strings heavily — and batch encoding is parallelized
+// across cores. All methods are safe for concurrent use.
 type Encoder struct {
 	features []Feature
 	embedder Embedder
-
-	mu    sync.RWMutex
-	cache map[string][]float32
-
-	// CacheLimit bounds the memo size; 0 means unlimited. When the limit
-	// is hit the cache is dropped wholesale (encodings are cheap to
-	// recompute and batches are highly repetitive within a window).
-	CacheLimit int
+	cache    *shardedCache
 }
 
 // NewEncoder builds an Encoder over the given feature subset and
 // embedder. Nil features defaults to DefaultFeatures; nil embedder to the
-// hashing embedder.
+// hashing embedder. The embedding cache starts at DefaultCacheCapacity.
 func NewEncoder(features []Feature, embedder Embedder) *Encoder {
 	if features == nil {
 		features = DefaultFeatures()
@@ -38,10 +33,9 @@ func NewEncoder(features []Feature, embedder Embedder) *Encoder {
 		embedder = he
 	}
 	return &Encoder{
-		features:   features,
-		embedder:   embedder,
-		cache:      make(map[string][]float32),
-		CacheLimit: 1 << 20,
+		features: features,
+		embedder: embedder,
+		cache:    newShardedCache(DefaultCacheCapacity),
 	}
 }
 
@@ -56,19 +50,13 @@ func (e *Encoder) Dim() int { return e.embedder.Dim() }
 // with the cache and must not be mutated.
 func (e *Encoder) EncodeJob(j *job.Job) []float32 {
 	key := FeatureString(j, e.features)
-	e.mu.RLock()
-	v, ok := e.cache[key]
-	e.mu.RUnlock()
-	if ok {
+	if v, ok := e.cache.get(key); ok {
 		return v
 	}
-	v = e.embedder.Embed(key)
-	e.mu.Lock()
-	if e.CacheLimit > 0 && len(e.cache) >= e.CacheLimit {
-		e.cache = make(map[string][]float32)
-	}
-	e.cache[key] = v
-	e.mu.Unlock()
+	// Concurrent misses on the same key may both embed; the embedding is
+	// deterministic, so the duplicate work is harmless and lock-free.
+	v := e.embedder.Embed(key)
+	e.cache.put(key, v)
 	return v
 }
 
@@ -112,16 +100,16 @@ func (e *Encoder) Encode(jobs []*job.Job) [][]float32 {
 	return out
 }
 
-// CacheSize returns the number of memoized feature strings.
-func (e *Encoder) CacheSize() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.cache)
-}
+// SetCacheCapacity resizes the embedding cache to about n entries in
+// total (split across shards); n <= 0 disables memoization. Shrinking
+// evicts lazily as shards are next written.
+func (e *Encoder) SetCacheCapacity(n int) { e.cache.setCapacity(n) }
 
-// ResetCache drops every memoized encoding.
-func (e *Encoder) ResetCache() {
-	e.mu.Lock()
-	e.cache = make(map[string][]float32)
-	e.mu.Unlock()
-}
+// CacheStats snapshots hit/miss/eviction counters and the entry count.
+func (e *Encoder) CacheStats() CacheStats { return e.cache.stats() }
+
+// CacheSize returns the number of memoized feature strings.
+func (e *Encoder) CacheSize() int { return e.cache.len() }
+
+// ResetCache drops every memoized encoding (counters keep accumulating).
+func (e *Encoder) ResetCache() { e.cache.reset() }

@@ -101,14 +101,47 @@ func TestEncodeEmptyBatch(t *testing.T) {
 	}
 }
 
-func TestCacheLimitWholesaleDrop(t *testing.T) {
+func TestCacheCapacityBoundsEntries(t *testing.T) {
 	e := NewEncoder(nil, nil)
-	e.CacheLimit = 8
-	for i := 0; i < 50; i++ {
+	e.SetCacheCapacity(32)
+	for i := 0; i < 500; i++ {
 		e.EncodeJob(testJob(i))
 	}
-	if e.CacheSize() > 8 {
-		t.Errorf("cache size %d exceeds limit 8", e.CacheSize())
+	if n := e.CacheSize(); n > 32 {
+		t.Errorf("cache size %d exceeds capacity 32", n)
+	}
+	st := e.CacheStats()
+	if st.Evictions == 0 {
+		t.Error("no evictions despite exceeding capacity")
+	}
+	if st.Misses == 0 {
+		t.Error("misses not counted")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e := NewEncoder(nil, nil)
+	e.SetCacheCapacity(0)
+	j := testJob(1)
+	e.EncodeJob(j)
+	e.EncodeJob(j)
+	if n := e.CacheSize(); n != 0 {
+		t.Errorf("disabled cache holds %d entries", n)
+	}
+	if st := e.CacheStats(); st.Hits != 0 {
+		t.Errorf("disabled cache reported %d hits", st.Hits)
+	}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	e := NewEncoder(nil, nil)
+	j := testJob(1)
+	e.EncodeJob(j)
+	e.EncodeJob(j)
+	e.EncodeJob(testJob(2))
+	st := e.CacheStats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses", st)
 	}
 }
 

@@ -1,0 +1,71 @@
+package encode
+
+import (
+	"math"
+	"testing"
+
+	"mcbound/internal/linalg"
+)
+
+// FuzzTokenize asserts the subword tokenizer's contract on arbitrary
+// input: it never panics, and every emitted token is a non-empty
+// lowercase-alphanumeric byte string, with non-word tokens being exactly
+// the character trigrams of a word.
+func FuzzTokenize(f *testing.F) {
+	f.Add("usr01,job_name,48,1,gcc/12.2,2000MHz")
+	f.Add("")
+	f.Add(",,,")
+	f.Add("UPPER lower 0123456789")
+	f.Add("日本語テキストと emoji 🎉 mixed")
+	f.Add(string([]byte{0x00, 0xff, 0xfe, ',', 'a'}))
+	f.Fuzz(func(t *testing.T, s string) {
+		tokenize(s, func(tok []byte, word bool) {
+			if len(tok) == 0 {
+				t.Fatalf("empty token from %q", s)
+			}
+			if !word && len(tok) != 3 {
+				t.Fatalf("trigram of length %d from %q", len(tok), s)
+			}
+			for _, c := range tok {
+				if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9') {
+					t.Fatalf("token byte %q not lowercase alphanumeric (input %q)", c, s)
+				}
+			}
+		})
+	})
+}
+
+// FuzzEmbed asserts the embedder's contract on arbitrary input: it never
+// panics, always returns a Dim-dimensional finite vector that is either
+// exactly zero (tokenless input) or L2-normalised, and is deterministic.
+func FuzzEmbed(f *testing.F) {
+	f.Add("usr01,job_name,48,1,gcc/12.2,2000MHz")
+	f.Add("")
+	f.Add("a")
+	f.Add(",,,,,,,,,,,,,,,,,,,,,,,,,,,,,,,")
+	f.Add("cfd_prod_01 vs cfd_prod_02")
+	f.Add(string([]byte{0xc3, 0x28, ',', 0x00}))
+	e := NewHashingEmbedder()
+	e.FieldWeights = FieldWeightsFor(DefaultFeatures())
+	f.Fuzz(func(t *testing.T, s string) {
+		v := e.Embed(s)
+		if len(v) != Dim {
+			t.Fatalf("Embed(%q) returned %d dims, want %d", s, len(v), Dim)
+		}
+		for i, x := range v {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				t.Fatalf("Embed(%q)[%d] = %g", s, i, x)
+			}
+		}
+		n := linalg.Norm2(v)
+		if n != 0 && math.Abs(n-1) > 1e-3 {
+			t.Fatalf("Embed(%q) norm = %g, want 0 or 1", s, n)
+		}
+		w := e.Embed(s)
+		for i := range v {
+			if v[i] != w[i] {
+				t.Fatalf("Embed(%q) not deterministic at dim %d: %g vs %g", s, i, v[i], w[i])
+			}
+		}
+	})
+}

@@ -13,7 +13,9 @@ var trainBuckets = []float64{.01, .05, .1, .5, 1, 5, 15, 60, 300}
 
 // appMetrics instruments the framework hot paths behind the API: train
 // duration and window composition, classify throughput and latency,
-// ingest volume and store size.
+// ingest volume and store size, plus the serving-path internals the
+// hot-swap redesign added — a train-inflight gauge, coalesced-trigger
+// counting and embedding-cache effectiveness.
 type appMetrics struct {
 	trainRuns     func(outcome string) *telemetry.Counter
 	trainDuration *telemetry.Histogram
@@ -27,9 +29,23 @@ type appMetrics struct {
 	insertedJobs     *telemetry.Counter
 }
 
-func newAppMetrics(reg *telemetry.Registry, storeLen func() int) *appMetrics {
+func newAppMetrics(reg *telemetry.Registry, storeLen func() int, fw *core.Framework) *appMetrics {
 	reg.GaugeFunc("mcbound_store_jobs", "Jobs currently in the data storage.",
 		nil, func() float64 { return float64(storeLen()) })
+	reg.GaugeFunc("mcbound_train_inflight", "1 while a Training Workflow is executing, else 0.",
+		nil, func() float64 {
+			if fw.TrainingInFlight() {
+				return 1
+			}
+			return 0
+		})
+	enc := fw.Encoder()
+	reg.GaugeFunc("mcbound_encode_cache_hits", "Embedding cache hits since start.",
+		nil, func() float64 { return float64(enc.CacheStats().Hits) })
+	reg.GaugeFunc("mcbound_encode_cache_misses", "Embedding cache misses since start.",
+		nil, func() float64 { return float64(enc.CacheStats().Misses) })
+	reg.GaugeFunc("mcbound_encode_cache_entries", "Embeddings currently memoized.",
+		nil, func() float64 { return float64(enc.CacheStats().Entries) })
 	return &appMetrics{
 		trainRuns: func(outcome string) *telemetry.Counter {
 			return reg.Counter("mcbound_train_runs_total",
@@ -55,10 +71,15 @@ func newAppMetrics(reg *telemetry.Registry, storeLen func() int) *appMetrics {
 }
 
 // observeTrain records one Training Workflow trigger. rep may be nil on
-// early failures.
+// early failures. A coalesced trigger shares a fit that its originating
+// trigger already accounted for, so only the outcome counter moves.
 func (m *appMetrics) observeTrain(rep *core.TrainReport, err error) {
 	if err != nil {
 		m.trainRuns("error").Inc()
+		return
+	}
+	if rep.Coalesced {
+		m.trainRuns("coalesced").Inc()
 		return
 	}
 	m.trainRuns("ok").Inc()

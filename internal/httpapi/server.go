@@ -81,7 +81,7 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 		mux:     http.NewServeMux(),
 		log:     logger,
 		reg:     opts.Registry,
-		metrics: newAppMetrics(opts.Registry, st.Len),
+		metrics: newAppMetrics(opts.Registry, st.Len, fw),
 		maxBody: opts.MaxBodyBytes,
 	}
 	s.route("GET /healthz", s.handleHealth)

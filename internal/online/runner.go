@@ -54,6 +54,12 @@ type Result struct {
 	AvgEncodePerJob    time.Duration
 	AvgCharacterizeJob time.Duration
 	AvgInferencePerJob time.Duration
+
+	// Embedding-cache traffic during the run (vector path only; zero
+	// for raw-job baselines). High hit rates explain inference times
+	// below the tokenize+project floor in the Fig. 8 series.
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // Run executes the schedule for params over [testStart, testEnd). The
@@ -70,6 +76,10 @@ func (r *Runner) Run(ctx context.Context, p Params, testStart, testEnd time.Time
 	rng := stats.NewRNG(p.Seed)
 
 	res := &Result{ModelName: r.modelName(), Params: p, Confusion: metrics.NewConfusion()}
+	var cacheStart encode.CacheStats
+	if r.Encoder != nil {
+		cacheStart = r.Encoder.CacheStats()
+	}
 	var trainTotal, encodeTotal, charTotal, inferTotal time.Duration
 	var encodeJobs, charJobs int
 	var trainRows int
@@ -171,6 +181,11 @@ func (r *Runner) Run(ctx context.Context, p Params, testStart, testEnd time.Time
 	}
 	if res.TestJobs > 0 {
 		res.AvgInferencePerJob = inferTotal / time.Duration(res.TestJobs)
+	}
+	if r.Encoder != nil {
+		cacheEnd := r.Encoder.CacheStats()
+		res.CacheHits = cacheEnd.Hits - cacheStart.Hits
+		res.CacheMisses = cacheEnd.Misses - cacheStart.Misses
 	}
 	return res, nil
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mcbound/internal/core"
+	"mcbound/internal/metrics"
 )
 
 // EventKind tags a timeline entry.
@@ -39,9 +40,14 @@ type Event struct {
 	ModelVersion int
 	TrainTime    time.Duration
 
-	// Inference fields.
+	// Inference fields. Evaluated counts the classified jobs whose
+	// Roofline ground truth was computable once they executed; F1 is the
+	// macro-F1 of the window's predictions against that truth (0 when
+	// nothing was evaluable) — the per-day quality series of Fig. 6.
 	Classified  int
 	MemoryBound int
+	Evaluated   int
+	F1          float64
 }
 
 // Timeline is the ordered record of a replay.
@@ -70,6 +76,30 @@ func (tl *Timeline) TotalClassified() int {
 		n += e.Classified
 	}
 	return n
+}
+
+// WriteText renders the timeline one line per event in a stable,
+// duration-free format (the golden-file representation): train lines
+// carry the model version and window size, infer lines the volume,
+// memory-bound count and the per-window F1 to three decimals.
+func (tl *Timeline) WriteText(w io.Writer) error {
+	for _, e := range tl.Events {
+		var err error
+		switch e.Kind {
+		case EventTrain:
+			_, err = fmt.Fprintf(w, "%s train v%d on %d jobs\n",
+				e.Time.Format("2006-01-02"), e.ModelVersion, e.TrainedOn)
+		case EventInfer:
+			_, err = fmt.Fprintf(w, "%s infer %d classified %d memory-bound f1=%.3f n=%d\n",
+				e.Time.Format("2006-01-02"), e.Classified, e.MemoryBound, e.F1, e.Evaluated)
+		default:
+			_, err = fmt.Fprintf(w, "%s %s\n", e.Time.Format("2006-01-02"), e.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Replay drives a deployed Framework through a period.
@@ -125,22 +155,38 @@ func (r *Replay) Run(ctx context.Context, start, end time.Time) (*Timeline, erro
 		if windowEnd.After(end) {
 			windowEnd = end
 		}
-		preds, err := r.Framework.ClassifySubmitted(ctx, now, windowEnd)
+		// Fetch the window's submissions once so predictions can later be
+		// reconciled index-for-index against their Roofline ground truth.
+		jobs, err := r.Framework.Fetcher().FetchSubmitted(ctx, now, windowEnd)
 		if err != nil {
-			return nil, fmt.Errorf("simulate: inference at %v: %w", now, err)
+			return nil, fmt.Errorf("simulate: inference fetch at %v: %w", now, err)
 		}
-		mem := 0
-		for _, p := range preds {
-			if p.Class == "memory-bound" {
-				mem++
+		ev := Event{Time: now, Kind: EventInfer}
+		if len(jobs) > 0 {
+			preds, err := r.Framework.ClassifyJobs(ctx, jobs)
+			if err != nil {
+				return nil, fmt.Errorf("simulate: inference at %v: %w", now, err)
+			}
+			ev.Classified = len(preds)
+			conf := metrics.NewConfusion()
+			for i, p := range preds {
+				if p.Class == "memory-bound" {
+					ev.MemoryBound++
+				}
+				pt, err := r.Framework.Characterizer().Characterize(jobs[i])
+				if err != nil {
+					continue // truth never arrives for this job
+				}
+				conf.Add(pt.Label, p.Label)
+				ev.Evaluated++
+			}
+			if ev.Evaluated > 0 {
+				ev.F1 = conf.F1Macro()
 			}
 		}
-		tl.Events = append(tl.Events, Event{
-			Time: now, Kind: EventInfer,
-			Classified: len(preds), MemoryBound: mem,
-		})
-		r.logf("%s infer: %d jobs classified (%d memory-bound)",
-			now.Format("2006-01-02"), len(preds), mem)
+		tl.Events = append(tl.Events, ev)
+		r.logf("%s infer: %d jobs classified (%d memory-bound, f1=%.3f over %d)",
+			now.Format("2006-01-02"), ev.Classified, ev.MemoryBound, ev.F1, ev.Evaluated)
 
 		// Cron fires at the end of the β window (skip past the period).
 		if windowEnd.Before(end) {

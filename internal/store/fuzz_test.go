@@ -1,0 +1,40 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSONL asserts the JSONL loader's contract on arbitrary bytes:
+// it never panics, and whenever it accepts an input, the loaded store
+// survives a WriteJSONL → ReadJSONL round trip. (The round trip may
+// merge IDs whose invalid UTF-8 was sanitised identically by the JSON
+// encoder, so the reloaded store can only shrink, never grow or fail.)
+func FuzzReadJSONL(f *testing.F) {
+	f.Add([]byte(`{"id":"j1","user":"u1","name":"app","cores_req":48}` + "\n"))
+	f.Add([]byte(`{"id":"j1"}` + "\n" + `{"id":"j2","end":"2024-01-02T00:00:00Z"}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte(`{"id":""}` + "\n"))
+	f.Add([]byte("{\"id\":\"a\"}\n\n{\"id\":\"b\"}"))
+	f.Add([]byte{0xff, 0xfe, '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil store without error")
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSONL(&buf); err != nil {
+			t.Fatalf("write-back of accepted input failed: %v", err)
+		}
+		s2, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if s2.Len() > s.Len() || (s.Len() > 0 && s2.Len() == 0) {
+			t.Fatalf("round trip: %d jobs became %d", s.Len(), s2.Len())
+		}
+	})
+}
