@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt fuzz check bench bench-all
+.PHONY: all build test race vet fmt fuzz chaos check bench bench-all
 
 all: check
 
@@ -23,6 +23,13 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Fault-injection suite: replays the online algorithm against a jobs
+# data storage with injected transient/permanent faults (including a
+# mid-replay crash + registry restore) and checks the degraded-mode
+# accounting, under the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/...
+
 # Short smoke runs of every fuzz target (go allows one -fuzz pattern
 # per invocation, so one line each).
 fuzz:
@@ -30,7 +37,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzEmbed$$ -fuzztime=$(FUZZTIME) ./internal/encode
 	$(GO) test -run=^$$ -fuzz=^FuzzReadJSONL$$ -fuzztime=$(FUZZTIME) ./internal/store
 
-check: build vet fmt race fuzz
+check: build vet fmt race chaos fuzz
 
 # Serving-path perf trajectory: single classify hot/cold in the
 # embedding cache, 1000-job batch serial vs. all cores, full train.

@@ -30,8 +30,10 @@ import (
 	"mcbound/internal/encode"
 	"mcbound/internal/experiments"
 	"mcbound/internal/fetch"
+	"mcbound/internal/fetch/chaos"
 	"mcbound/internal/httpapi"
 	"mcbound/internal/store"
+	"mcbound/internal/telemetry"
 	"mcbound/internal/workload"
 )
 
@@ -50,6 +52,16 @@ type options struct {
 	retrainEvery time.Duration
 	drainTimeout time.Duration
 	encodeCache  int
+
+	// Resilient fetch layer.
+	fetchAttempts    int
+	fetchBackoff     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	// Fault injection (testing the degraded paths end to end).
+	chaosRate float64
+	chaosSeed uint64
 }
 
 func main() {
@@ -69,6 +81,12 @@ func main() {
 	flag.DurationVar(&o.retrainEvery, "retrain-every", 0, "wall-clock retraining period for the cron ticker (0 = disabled)")
 	flag.DurationVar(&o.drainTimeout, "shutdown-timeout", httpapi.DefaultDrainTimeout, "in-flight request drain budget on shutdown")
 	flag.IntVar(&o.encodeCache, "encode-cache", encode.DefaultCacheCapacity, "embedding cache capacity in entries (0 = disabled)")
+	flag.IntVar(&o.fetchAttempts, "fetch-attempts", 4, "attempts per storage query (retries with jittered exponential backoff)")
+	flag.DurationVar(&o.fetchBackoff, "fetch-backoff", 50*time.Millisecond, "base backoff between storage query retries")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive storage failures before the circuit breaker opens")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 10*time.Second, "open-breaker cooldown before a half-open probe")
+	flag.Float64Var(&o.chaosRate, "chaos-rate", 0, "inject transient storage faults at this rate in [0,1] (testing only)")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 1, "fault-injection schedule seed (with -chaos-rate)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -103,17 +121,54 @@ func run(o options) error {
 	}
 	log.Printf("jobs data storage ready: %d jobs", st.Len())
 
+	// Fetch chain: store → optional fault injection → retries + breaker.
+	// The framework and every workflow query the storage through it.
+	var backend fetch.Backend = fetch.StoreBackend{Store: st}
+	if o.chaosRate > 0 {
+		cb := chaos.New(backend, o.chaosSeed)
+		cb.SetAll(chaos.Profile{TransientRate: o.chaosRate})
+		backend = cb
+		log.Printf("fault injection armed: %.0f%% transient rate, seed %d", o.chaosRate*100, o.chaosSeed)
+	}
+	rcfg := fetch.DefaultResilienceConfig()
+	rcfg.Retry.MaxAttempts = o.fetchAttempts
+	rcfg.Retry.BaseDelay = o.fetchBackoff
+	rcfg.Breaker.FailureThreshold = o.breakerThreshold
+	rcfg.Breaker.Cooldown = o.breakerCooldown
+	resilient := fetch.NewResilientBackend(backend, rcfg)
+	reg := telemetry.NewRegistry()
+	resilient.Instrument(reg)
+
 	cfg := core.DefaultConfig()
 	cfg.Model = core.ModelKind(o.model)
 	cfg.Alpha, cfg.Beta = o.alpha, o.beta
 	cfg.ModelDir = o.modelDir
-	fw, err := core.New(cfg, fetch.StoreBackend{Store: st})
+	fw, err := core.New(cfg, resilient)
 	if err != nil {
 		return err
 	}
 	fw.Encoder().SetCacheCapacity(o.encodeCache)
 
-	// Initial Training Workflow (the deploy script of §III-E).
+	// Crash recovery: restore the newest valid persisted model before
+	// training, so the server can answer inference even if the initial
+	// Training Workflow fails (stale beats dead).
+	if o.modelDir != "" {
+		switch lrep, err := fw.LoadLatest(); {
+		case err != nil:
+			log.Printf("no model restored from %s: %v", o.modelDir, err)
+		default:
+			if len(lrep.Quarantined) > 0 {
+				log.Printf("warning: %d corrupted model version(s) quarantined in %s: %v",
+					len(lrep.Quarantined), o.modelDir, lrep.Quarantined)
+			}
+			log.Printf("restored model version %d from %s", lrep.Version, o.modelDir)
+		}
+	}
+
+	// Initial Training Workflow (the deploy script of §III-E). A failure
+	// is no longer fatal: the server comes up degraded — serving the
+	// restored model if one loaded, 503 on /healthz otherwise — and the
+	// retraining ticker keeps trying.
 	now := time.Now().UTC()
 	if o.trainAt != "" {
 		if now, err = time.Parse(time.RFC3339, o.trainAt); err != nil {
@@ -122,19 +177,22 @@ func run(o options) error {
 	} else if newest := newestEnd(st); !newest.IsZero() {
 		now = newest
 	}
-	rep, err := fw.Train(ctx, now)
-	if err != nil {
-		return err
+	rep, trainErr := fw.Train(ctx, now)
+	if trainErr != nil {
+		log.Printf("warning: initial training failed, serving degraded: %v", trainErr)
+	} else {
+		log.Printf("initial model trained: window [%s, %s), %d labeled jobs, %.3fs, version %d",
+			rep.WindowStart.Format("2006-01-02"), rep.WindowEnd.Format("2006-01-02"),
+			rep.LabeledJobs, rep.TrainDuration.Seconds(), rep.ModelVersion)
 	}
-	log.Printf("initial model trained: window [%s, %s), %d labeled jobs, %.3fs, version %d",
-		rep.WindowStart.Format("2006-01-02"), rep.WindowEnd.Format("2006-01-02"),
-		rep.LabeledJobs, rep.TrainDuration.Seconds(), rep.ModelVersion)
 
 	api := httpapi.New(fw, st, log.Default(), httpapi.Options{
 		MaxBodyBytes: o.maxBody,
 		EnablePprof:  o.pprof,
+		Registry:     reg,
+		Breaker:      resilient.Breaker(),
 	})
-	api.ObserveTrain(rep, nil)
+	api.ObserveTrain(rep, trainErr)
 
 	// Cron-equivalent retraining ticker: retrain on the newest completed
 	// data (a live store advances as POST /v1/jobs delivers records).

@@ -15,6 +15,7 @@ package core
 
 import (
 	"context"
+	"encoding"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"mcbound/internal/fetch"
 	"mcbound/internal/job"
 	"mcbound/internal/ml"
+	"mcbound/internal/ml/baseline"
 	"mcbound/internal/ml/knn"
 	"mcbound/internal/ml/rf"
 	"mcbound/internal/persist"
@@ -96,6 +98,12 @@ type modelState struct {
 	trained   bool
 	version   int // registry version, 0 when persistence is disabled
 	trainedAt time.Time
+
+	// fallback is the (job name, #cores) lookup baseline fitted on the
+	// last labeled window while no vector model has ever trained. It is
+	// the degraded-serving net: a Training Workflow whose model fit
+	// failed still leaves the framework able to answer inference.
+	fallback ml.JobClassifier
 }
 
 // trainCall is one in-flight Training Workflow execution shared by
@@ -124,6 +132,7 @@ type Framework struct {
 	inflight   *trainCall
 	inflightN  atomic.Int32 // 0 or 1; sampled by the train-inflight gauge
 	coalescedN atomic.Int64 // triggers absorbed by an in-flight train
+	degradedN  atomic.Int64 // predictions served by the lookup fallback
 }
 
 // New builds a Framework over a jobs-data-storage backend.
@@ -285,72 +294,151 @@ func (f *Framework) train(ctx context.Context, now time.Time) (*TrainReport, err
 	if err := ctx.Err(); err != nil {
 		return rep, fmt.Errorf("core: train canceled: %w", err)
 	}
+
+	// Before the first successful vector fit, also fit the lookup
+	// baseline on this window: if the model fit below fails, inference
+	// can still answer (degraded) instead of returning ErrNotTrained.
+	cur := f.state.Load()
+	var fallback ml.JobClassifier
+	if !cur.trained {
+		fb := baseline.New()
+		if err := fb.TrainJobs(jobs, labels); err == nil {
+			fallback = fb
+		}
+	}
+
 	model, err := buildModel(f.cfg) // fresh instance per trigger
 	if err != nil {
+		f.publishFallback(cur, fallback)
 		return rep, err
 	}
 	enc := f.encoder.Encode(jobs)
 	t0 := time.Now()
 	if err := model.Train(enc, labels); err != nil {
+		f.publishFallback(cur, fallback)
 		return rep, fmt.Errorf("core: train: %w", err)
 	}
 	rep.TrainDuration = time.Since(t0)
 
+	// Persistence failures degrade durability, not serving: the fresh
+	// model is published either way and the error is surfaced so the
+	// operator learns the registry is unwritable.
+	var persistErr error
 	if f.registry != nil {
-		pm, ok := model.(persist.Model)
-		if !ok {
-			return rep, fmt.Errorf("core: model %s is not persistable", model.Name())
+		if pm, ok := model.(persist.Model); !ok {
+			persistErr = fmt.Errorf("core: model %s is not persistable", model.Name())
+		} else if v, err := f.registry.Save(model.Name(), pm); err != nil {
+			persistErr = err
+		} else {
+			rep.ModelVersion = v
 		}
-		v, err := f.registry.Save(model.Name(), pm)
-		if err != nil {
-			return rep, err
-		}
-		rep.ModelVersion = v
 	}
 
 	f.state.Store(&modelState{
 		model: model, trained: true,
 		version: rep.ModelVersion, trainedAt: now,
 	})
+	return rep, persistErr
+}
+
+// publishFallback installs the lookup baseline as the serving net after
+// a failed fit, but only while no vector model has ever trained — a
+// trained snapshot always beats the baseline (stale beats degraded).
+func (f *Framework) publishFallback(cur *modelState, fallback ml.JobClassifier) {
+	if cur.trained || fallback == nil {
+		return
+	}
+	// CAS, not Store: a concurrent LoadLatest may have restored a real
+	// model since cur was read, and that always wins over the baseline.
+	f.state.CompareAndSwap(cur, &modelState{
+		model: cur.model, fallback: fallback,
+		version: cur.version, trainedAt: cur.trainedAt,
+	})
+}
+
+// LoadReport summarizes a crash-recovery load: which version is now
+// serving and which stored versions were skipped as corrupted.
+type LoadReport struct {
+	Version     int
+	Quarantined []int
+}
+
+// LoadLatest restores the newest valid persisted model instead of
+// training, e.g. after a restart. Corrupted or truncated version files
+// are skipped (and reported as quarantined) so one bad write cannot
+// block recovery. It fails when persistence is disabled or no stored
+// version unmarshals.
+func (f *Framework) LoadLatest() (*LoadReport, error) {
+	if f.registry == nil {
+		return nil, fmt.Errorf("core: persistence disabled")
+	}
+	probe, err := buildModel(f.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := probe.(persist.Model); !ok {
+		return nil, fmt.Errorf("core: model %s is not persistable", probe.Name())
+	}
+	loaded, v, quarantined, err := f.registry.LoadLatestValid(probe.Name(), func() (encoding.BinaryUnmarshaler, error) {
+		m, err := buildModel(f.cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.(persist.Model), nil
+	})
+	rep := &LoadReport{Version: v, Quarantined: quarantined}
+	if err != nil {
+		return rep, err
+	}
+	f.state.Store(&modelState{
+		model: loaded.(ml.Classifier), trained: true,
+		version: v, trainedAt: time.Now().UTC(),
+	})
 	return rep, nil
 }
 
-// LoadLatest restores the newest persisted model instead of training,
-// e.g. after a restart. It fails when persistence is disabled.
-func (f *Framework) LoadLatest() (int, error) {
-	if f.registry == nil {
-		return 0, fmt.Errorf("core: persistence disabled")
-	}
-	model, err := buildModel(f.cfg)
-	if err != nil {
-		return 0, err
-	}
-	pm, ok := model.(persist.Model)
-	if !ok {
-		return 0, fmt.Errorf("core: model %s is not persistable", model.Name())
-	}
-	v, err := f.registry.LoadLatest(model.Name(), pm)
-	if err != nil {
-		return 0, err
-	}
-	f.state.Store(&modelState{
-		model: model, trained: true,
-		version: v, trainedAt: time.Now().UTC(),
-	})
-	return v, nil
-}
-
 // Prediction pairs a job with its predicted class and the version of the
-// model that produced it.
+// model that produced it. Degraded marks predictions served by the
+// lookup fallback while no vector model was available.
 type Prediction struct {
 	JobID        string    `json:"job_id"`
 	Label        job.Label `json:"-"`
 	Class        string    `json:"class"`
 	ModelVersion int       `json:"model_version"`
+	Degraded     bool      `json:"degraded,omitempty"`
 }
 
 // Trained reports whether a model instance is available for inference.
 func (f *Framework) Trained() bool { return f.state.Load().trained }
+
+// Ready reports whether inference can answer at all: a trained vector
+// model or, degraded, the lookup fallback.
+func (f *Framework) Ready() bool {
+	st := f.state.Load()
+	return st.trained || st.fallback != nil
+}
+
+// Degraded reports whether inference is being served by the lookup
+// fallback because no vector model has ever trained.
+func (f *Framework) Degraded() bool {
+	st := f.state.Load()
+	return !st.trained && st.fallback != nil
+}
+
+// DegradedPredictions returns how many predictions the lookup fallback
+// has served (sampled by the mcbound_classify_degraded gauge).
+func (f *Framework) DegradedPredictions() int64 { return f.degradedN.Load() }
+
+// ModelAge returns the age of the served model snapshot relative to
+// now; ok is false while no model has ever trained (the
+// mcbound_model_staleness_seconds gauge then reads 0).
+func (f *Framework) ModelAge(now time.Time) (age time.Duration, ok bool) {
+	st := f.state.Load()
+	if !st.trained {
+		return 0, false
+	}
+	return now.Sub(st.trainedAt), true
+}
 
 // ModelInfo describes the currently served model. The triple comes from
 // one atomic snapshot, so it is always internally consistent even while
@@ -367,11 +455,28 @@ func (f *Framework) ModelInfo() (name string, version int, trainedAt time.Time) 
 // from the same model snapshot.
 func (f *Framework) ClassifyJobs(ctx context.Context, jobs []*job.Job) ([]Prediction, error) {
 	st := f.state.Load()
-	if !st.trained {
+	if !st.trained && st.fallback == nil {
 		return nil, ErrNotTrained
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if !st.trained {
+		// Degraded mode: no vector model has ever trained; answer from
+		// the (job name, #cores) lookup baseline rather than 503.
+		labels, err := st.fallback.PredictJobs(jobs)
+		if err != nil {
+			return nil, fmt.Errorf("core: fallback predict: %w", err)
+		}
+		f.degradedN.Add(int64(len(jobs)))
+		out := make([]Prediction, len(jobs))
+		for i, j := range jobs {
+			out[i] = Prediction{
+				JobID: j.ID, Label: labels[i], Class: labels[i].String(),
+				Degraded: true,
+			}
+		}
+		return out, nil
 	}
 	labels, err := predictBatch(ctx, st.model, f.encoder.Encode(jobs))
 	if err != nil {

@@ -162,12 +162,15 @@ func TestPersistenceAndLoadLatest(t *testing.T) {
 	// A fresh framework over the same dir restores the model without
 	// retraining.
 	fresh := newFramework(t, cfg, st)
-	v, err := fresh.LoadLatest()
+	lrep, err := fresh.LoadLatest()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != 1 || !fresh.Trained() {
-		t.Errorf("restored version %d, trained %v", v, fresh.Trained())
+	if lrep.Version != 1 || !fresh.Trained() {
+		t.Errorf("restored version %d, trained %v", lrep.Version, fresh.Trained())
+	}
+	if len(lrep.Quarantined) != 0 {
+		t.Errorf("quarantined = %v on a healthy registry", lrep.Quarantined)
 	}
 	pred, err := fresh.ClassifyByID(context.Background(), "c00000")
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"mcbound/internal/core"
 	"mcbound/internal/job"
+	"mcbound/internal/resilience"
 	"mcbound/internal/store"
 )
 
@@ -29,6 +30,7 @@ const (
 	codeBodyTooLarge = "body_too_large"
 	codeCanceled     = "canceled"
 	codeDeadline     = "deadline_exceeded"
+	codeBreakerOpen  = "breaker_open"
 	codeInternal     = "internal"
 )
 
@@ -58,6 +60,8 @@ func errToStatus(err error) (status int, code string) {
 		return http.StatusNotFound, codeNotFound
 	case errors.Is(err, core.ErrNotTrained):
 		return http.StatusServiceUnavailable, codeNotTrained
+	case errors.Is(err, resilience.ErrOpen):
+		return http.StatusServiceUnavailable, codeBreakerOpen
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, codeDeadline
 	case errors.Is(err, context.Canceled):

@@ -39,6 +39,17 @@ func newAppMetrics(reg *telemetry.Registry, storeLen func() int, fw *core.Framew
 			}
 			return 0
 		})
+	reg.GaugeFunc("mcbound_model_staleness_seconds",
+		"Age of the served model (seconds since its training instant); 0 until first fit.",
+		nil, func() float64 {
+			if age, ok := fw.ModelAge(time.Now()); ok {
+				return age.Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("mcbound_degraded_predictions_total",
+		"Predictions answered by the lookup fallback instead of the vector model.",
+		nil, func() float64 { return float64(fw.DegradedPredictions()) })
 	enc := fw.Encoder()
 	reg.GaugeFunc("mcbound_encode_cache_hits", "Embedding cache hits since start.",
 		nil, func() float64 { return float64(enc.CacheStats().Hits) })

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -31,6 +32,7 @@ import (
 
 	"mcbound/internal/core"
 	"mcbound/internal/job"
+	"mcbound/internal/resilience"
 	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
 )
@@ -49,6 +51,10 @@ type Options struct {
 
 	// EnablePprof mounts /debug/pprof/* on the API mux.
 	EnablePprof bool
+
+	// Breaker, when set, is the fetch-layer circuit breaker whose state
+	// /healthz reports; nil omits the field.
+	Breaker *resilience.Breaker
 }
 
 // Server wires a Framework and its job store into an http.Handler.
@@ -61,6 +67,7 @@ type Server struct {
 	reg     *telemetry.Registry
 	metrics *appMetrics
 	maxBody int64
+	breaker *resilience.Breaker
 }
 
 // New builds a Server. The store must be the same one backing the
@@ -83,6 +90,7 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 		reg:     opts.Registry,
 		metrics: newAppMetrics(opts.Registry, st.Len, fw),
 		maxBody: opts.MaxBodyBytes,
+		breaker: opts.Breaker,
 	}
 	s.route("GET /healthz", s.handleHealth)
 	s.route("GET /v1/model", s.handleModel)
@@ -142,17 +150,44 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps err through errToStatus and emits the error envelope.
+// Breaker rejections carry their cooldown as a Retry-After header so
+// well-behaved clients back off instead of hammering an open circuit.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, code := errToStatus(err)
+	if after, ok := resilience.RetryAfter(err); ok {
+		secs := int(math.Ceil(after.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	s.writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
+// handleHealth is the readiness probe: 200 while the framework can
+// answer inference (fresh, stale or via the lookup fallback), 503 when
+// it cannot. "degraded" flags fallback-only serving.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"trained": s.fw.Trained(),
-		"jobs":    s.store.Len(),
-	})
+	status, httpStatus := "ok", http.StatusOK
+	switch {
+	case !s.fw.Ready():
+		status, httpStatus = "unavailable", http.StatusServiceUnavailable
+	case s.fw.Degraded():
+		status = "degraded"
+	}
+	body := map[string]any{
+		"status":   status,
+		"trained":  s.fw.Trained(),
+		"degraded": s.fw.Degraded(),
+		"jobs":     s.store.Len(),
+	}
+	if age, ok := s.fw.ModelAge(time.Now()); ok {
+		body["staleness_seconds"] = age.Seconds()
+	}
+	if s.breaker != nil {
+		body["breaker"] = s.breaker.State().String()
+	}
+	s.writeJSON(w, httpStatus, body)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {

@@ -10,13 +10,16 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"mcbound/internal/core"
 	"mcbound/internal/fetch"
 	"mcbound/internal/job"
+	"mcbound/internal/resilience"
 	"mcbound/internal/store"
 )
 
@@ -598,5 +601,115 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	// The listener is closed: new connections must fail.
 	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
 		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+// flakyBackend serves normally until fail is set, then errors every call.
+type flakyBackend struct {
+	inner fetch.Backend
+	fail  atomic.Bool
+}
+
+func (b *flakyBackend) call() error {
+	if b.fail.Load() {
+		return fmt.Errorf("storage down")
+	}
+	return nil
+}
+
+func (b *flakyBackend) JobByID(ctx context.Context, id string) (*job.Job, error) {
+	if err := b.call(); err != nil {
+		return nil, err
+	}
+	return b.inner.JobByID(ctx, id)
+}
+
+func (b *flakyBackend) ExecutedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	if err := b.call(); err != nil {
+		return nil, err
+	}
+	return b.inner.ExecutedBetween(ctx, start, end)
+}
+
+func (b *flakyBackend) SubmittedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	if err := b.call(); err != nil {
+		return nil, err
+	}
+	return b.inner.SubmittedBetween(ctx, start, end)
+}
+
+func TestHealthzUnavailableBeforeAnyModel(t *testing.T) {
+	st := seedStore(t)
+	srv := httptest.NewServer(newAPI(t, st, nil, false, Options{}))
+	defer srv.Close()
+	var body map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 with nothing to serve from", code)
+	}
+	if body["status"] != "unavailable" || body["trained"] != false {
+		t.Errorf("health = %v", body)
+	}
+}
+
+func TestHealthzReportsBreakerAndStaleness(t *testing.T) {
+	st := seedStore(t)
+	flaky := &flakyBackend{inner: fetch.StoreBackend{Store: st}}
+	rb := fetch.NewResilientBackend(flaky, fetch.DefaultResilienceConfig())
+	srv := httptest.NewServer(newAPI(t, st, rb, true, Options{Breaker: rb.Breaker()}))
+	defer srv.Close()
+	var body map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["status"] != "ok" || body["breaker"] != "closed" {
+		t.Errorf("health = %v", body)
+	}
+	if _, ok := body["staleness_seconds"].(float64); !ok {
+		t.Errorf("no staleness on a trained server: %v", body)
+	}
+}
+
+func TestBreakerOpenReturns503WithRetryAfter(t *testing.T) {
+	st := seedStore(t)
+	flaky := &flakyBackend{inner: fetch.StoreBackend{Store: st}}
+	rb := fetch.NewResilientBackend(flaky, fetch.ResilienceConfig{
+		Retry:   resilience.Policy{MaxAttempts: 1, BaseDelay: time.Microsecond},
+		Breaker: resilience.BreakerConfig{FailureThreshold: 1, Cooldown: 30 * time.Second},
+	})
+	srv := httptest.NewServer(newAPI(t, st, rb, true, Options{Breaker: rb.Breaker()}))
+	defer srv.Close()
+
+	flaky.fail.Store(true)
+	// First request trips the breaker (plain storage error -> 500).
+	if code := getJSON(t, srv.URL+"/v1/classify/s0000", nil); code != http.StatusInternalServerError {
+		t.Fatalf("tripping request: status %d, want 500", code)
+	}
+	// Second request is rejected by the open breaker.
+	resp, err := http.Get(srv.URL + "/v1/classify/s0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "breaker_open" {
+		t.Errorf("code = %q, want breaker_open", e.Code)
+	}
+	after, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || after < 1 || after > 30 {
+		t.Errorf("Retry-After = %q, want 1..30 seconds", resp.Header.Get("Retry-After"))
+	}
+	// /healthz keeps answering (stale model) and reports the open state.
+	var body map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("healthz status %d during outage, want 200 (model still serves)", code)
+	}
+	if body["breaker"] != "open" {
+		t.Errorf("breaker = %v, want open", body["breaker"])
 	}
 }

@@ -1,0 +1,286 @@
+package online
+
+// Chaos suite: replays the online algorithm against a jobs data storage
+// with injected faults (30% transient rate plus periodic permanent
+// outages) behind the resilient fetch layer, and checks that the
+// degraded-mode accounting in Result matches the fault schedule exactly.
+// Run via `make chaos` (go test -race -run 'Chaos').
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mcbound/internal/encode"
+	"mcbound/internal/fetch"
+	"mcbound/internal/fetch/chaos"
+	"mcbound/internal/job"
+	"mcbound/internal/ml/knn"
+	"mcbound/internal/persist"
+	"mcbound/internal/resilience"
+	"mcbound/internal/roofline"
+	"mcbound/internal/store"
+)
+
+// outcome is the logical result of one fetch as the Runner saw it, i.e.
+// after the retry/breaker layer resolved the injected faults underneath.
+type outcome struct {
+	failed bool
+	jobs   int
+}
+
+// recordingBackend sits ABOVE the resilient layer and captures the
+// per-query outcomes in call order, so the test can mirror the Runner's
+// bookkeeping without re-deriving the retry algebra.
+type recordingBackend struct {
+	inner     fetch.Backend
+	executed  []outcome
+	submitted []outcome
+}
+
+func (b *recordingBackend) JobByID(ctx context.Context, id string) (*job.Job, error) {
+	return b.inner.JobByID(ctx, id)
+}
+
+func (b *recordingBackend) ExecutedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	jobs, err := b.inner.ExecutedBetween(ctx, start, end)
+	b.executed = append(b.executed, outcome{failed: err != nil, jobs: len(jobs)})
+	return jobs, err
+}
+
+func (b *recordingBackend) SubmittedBetween(ctx context.Context, start, end time.Time) ([]*job.Job, error) {
+	jobs, err := b.inner.SubmittedBetween(ctx, start, end)
+	b.submitted = append(b.submitted, outcome{failed: err != nil, jobs: len(jobs)})
+	return jobs, err
+}
+
+// chaosChain assembles store → chaos → resilient with the suite's fault
+// mix: 30% transient faults on every method, plus a permanent outage on
+// every 4th ExecutedBetween call (counted at the chaos layer, so retry
+// attempts advance the schedule too). The breaker threshold is set far
+// above the fault run lengths so admission never perturbs the
+// accounting; the breaker is exercised on its own in resilience tests.
+func chaosChain(st *store.Store, seed uint64) (*chaos.Backend, *fetch.ResilientBackend) {
+	cb := chaos.New(fetch.StoreBackend{Store: st}, seed)
+	cb.SetAll(chaos.Profile{TransientRate: 0.3})
+	cb.Set(chaos.MethodExecuted, chaos.Profile{TransientRate: 0.3, PermanentEveryN: 4})
+	rb := fetch.NewResilientBackend(cb, fetch.ResilienceConfig{
+		Retry: resilience.Policy{
+			MaxAttempts: 6,
+			BaseDelay:   time.Microsecond,
+			MaxDelay:    10 * time.Microsecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+		},
+		Breaker: resilience.BreakerConfig{FailureThreshold: 1000, Cooldown: time.Millisecond},
+		Seed:    seed,
+	})
+	return cb, rb
+}
+
+func recordedRunner(t *testing.T, rb fetch.Backend) (*Runner, *recordingBackend) {
+	t.Helper()
+	rec := &recordingBackend{inner: rb}
+	f, err := fetch.New(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Runner{
+		Fetcher:       f,
+		Characterizer: roofline.NewCharacterizer(roofline.ModelFor(job.FugakuSpec())),
+		Encoder:       encode.NewEncoder(nil, nil),
+		Model:         knn.New(knn.DefaultConfig()),
+	}, rec
+}
+
+// expectation mirrors the Runner's degraded-mode bookkeeping over the
+// recorded logical outcomes. The vector fit itself never fails in this
+// suite (KNN on a labeled window), so a trigger retrains exactly when
+// its executed fetch succeeded with a non-empty window.
+type expectation struct {
+	retrainings, skipped, failedFetches, unserved, stale, testJobs int
+	maxStale                                                       time.Duration
+	lastTrainEnd                                                   time.Time
+}
+
+func simulate(triggers []Trigger, executed, submitted []outcome, pretrained bool, pretrainedAt time.Time) expectation {
+	trained := pretrained
+	lastTrain := pretrainedAt
+	var s expectation
+	for i, tr := range triggers {
+		switch {
+		case executed[i].failed:
+			s.failedFetches++
+			s.skipped++
+		case executed[i].jobs == 0:
+			s.skipped++
+		default:
+			trained = true
+			lastTrain = tr.TrainEnd
+			s.retrainings++
+		}
+		sub := submitted[i]
+		if sub.failed {
+			s.failedFetches++
+			s.unserved++
+			continue
+		}
+		if sub.jobs == 0 {
+			continue
+		}
+		if !trained {
+			s.unserved++
+			continue
+		}
+		if !lastTrain.IsZero() {
+			if age := tr.TrainEnd.Sub(lastTrain); age > 0 {
+				s.stale++
+				if age > s.maxStale {
+					s.maxStale = age
+				}
+			}
+		}
+		s.testJobs += sub.jobs
+	}
+	s.lastTrainEnd = lastTrain
+	return s
+}
+
+func checkAgainstSim(t *testing.T, res *Result, sim expectation) {
+	t.Helper()
+	if res.Retrainings != sim.retrainings || res.SkippedRetrainings != sim.skipped {
+		t.Errorf("retrainings = %d/%d skipped, schedule says %d/%d",
+			res.Retrainings, res.SkippedRetrainings, sim.retrainings, sim.skipped)
+	}
+	if res.FailedFetches != sim.failedFetches {
+		t.Errorf("failed fetches = %d, schedule says %d", res.FailedFetches, sim.failedFetches)
+	}
+	if res.UnservedTriggers != sim.unserved {
+		t.Errorf("unserved triggers = %d, schedule says %d", res.UnservedTriggers, sim.unserved)
+	}
+	if res.StaleTriggers != sim.stale || res.MaxStaleness != sim.maxStale {
+		t.Errorf("stale = %d max %v, schedule says %d max %v",
+			res.StaleTriggers, res.MaxStaleness, sim.stale, sim.maxStale)
+	}
+	if res.TestJobs != sim.testJobs {
+		t.Errorf("test jobs = %d, schedule says %d", res.TestJobs, sim.testJobs)
+	}
+	if !res.LastTrainEnd.Equal(sim.lastTrainEnd) {
+		t.Errorf("last train end = %v, schedule says %v", res.LastTrainEnd, sim.lastTrainEnd)
+	}
+}
+
+func TestChaosReplayDegradedAccounting(t *testing.T) {
+	st := handTrace(t)
+	cb, rb := chaosChain(st, 42)
+	r, rec := recordedRunner(t, rb)
+
+	start, end := testPeriod()
+	p := Params{Alpha: 15, Beta: 1}
+	res, err := r.Run(context.Background(), p, start, end)
+	if err != nil {
+		t.Fatalf("chaos replay aborted: %v", err)
+	}
+
+	triggers, err := Schedule(p, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.executed) != len(triggers) || len(rec.submitted) != len(triggers) {
+		t.Fatalf("recorded %d/%d fetches for %d triggers",
+			len(rec.executed), len(rec.submitted), len(triggers))
+	}
+	checkAgainstSim(t, res, simulate(triggers, rec.executed, rec.submitted, false, time.Time{}))
+
+	// The schedule must actually have hurt: injected faults at the chaos
+	// layer and at least one logical failure surviving the retry layer
+	// (the permanent outages guarantee it).
+	exec := cb.Counters(chaos.MethodExecuted)
+	if exec.Transient == 0 || exec.Permanent == 0 {
+		t.Errorf("chaos injected nothing: %+v", exec)
+	}
+	if res.SkippedRetrainings == 0 {
+		t.Error("no retrain was ever skipped; the suite did not exercise degradation")
+	}
+	if res.Retrainings == 0 || res.TestJobs == 0 {
+		t.Fatalf("nothing served: %+v", res)
+	}
+	// Degraded serving must not degrade quality on this separable trace:
+	// stale models answer exactly like fresh ones.
+	if res.F1 != 1 {
+		t.Errorf("F1 = %g under chaos, want 1", res.F1)
+	}
+}
+
+func TestChaosCrashRecoveryMidReplay(t *testing.T) {
+	st := handTrace(t)
+	_, rb := chaosChain(st, 7)
+	reg, err := persist.NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := testPeriod()
+	mid := start.AddDate(0, 0, 7)
+	p := Params{Alpha: 15, Beta: 1}
+
+	// First half of the replay, then persist the model — the state a
+	// server checkpoints after each retrain.
+	r1, rec1 := recordedRunner(t, rb)
+	res1, err := r1.Run(context.Background(), p, start, mid)
+	if err != nil {
+		t.Fatalf("first half aborted: %v", err)
+	}
+	if res1.Retrainings == 0 {
+		t.Fatal("first half never trained; cannot checkpoint")
+	}
+	if _, err := reg.Save("knn", r1.Model.(*knn.Classifier)); err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := Schedule(p, start, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSim(t, res1, simulate(tr1, rec1.executed, rec1.submitted, false, time.Time{}))
+
+	// "Crash": everything in memory is lost. Restore the model from the
+	// registry into a fresh process image and resume the replay where it
+	// stopped, against the same still-faulty storage.
+	restored := knn.New(knn.DefaultConfig())
+	if _, err := reg.LoadLatest("knn", restored); err != nil {
+		t.Fatal(err)
+	}
+	r2, rec2 := recordedRunner(t, rb)
+	r2.Model = restored
+	r2.Pretrained = true
+	r2.PretrainedAt = res1.LastTrainEnd
+	res2, err := r2.Run(context.Background(), p, mid, end)
+	if err != nil {
+		t.Fatalf("post-crash half aborted: %v", err)
+	}
+	tr2, err := Schedule(p, mid, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2 := simulate(tr2, rec2.executed, rec2.submitted, true, res1.LastTrainEnd)
+	checkAgainstSim(t, res2, sim2)
+
+	// Pretrained resume means every inference trigger whose submitted
+	// fetch succeeded is served — stale model where retrains were lost —
+	// so the only unserved triggers are submitted-fetch failures.
+	if res2.TestJobs == 0 {
+		t.Fatal("restored model served nothing")
+	}
+	subFailures := 0
+	for _, sub := range rec2.submitted {
+		if sub.failed {
+			subFailures++
+		}
+	}
+	if res2.UnservedTriggers != subFailures {
+		t.Errorf("unserved = %d, want only submitted-fetch failures (%d)",
+			res2.UnservedTriggers, subFailures)
+	}
+	if res1.F1 != 1 || res2.F1 != 1 {
+		t.Errorf("F1 = %g / %g across the crash, want 1 / 1", res1.F1, res2.F1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"mcbound/internal/job"
 	"mcbound/internal/metrics"
 	"mcbound/internal/ml"
+	"mcbound/internal/ml/baseline"
 	"mcbound/internal/roofline"
 	"mcbound/internal/stats"
 )
@@ -28,6 +29,14 @@ type Runner struct {
 
 	// Raw-job path (baseline): set JobModel, leave Encoder/Model nil.
 	JobModel ml.JobClassifier
+
+	// Pretrained marks Model/JobModel as already fitted — e.g. restored
+	// from a persist.Registry after a crash — so the replay may serve
+	// inference before its first successful retrain.
+	Pretrained bool
+	// PretrainedAt is the training instant of the restored model when
+	// Pretrained (staleness accounting); zero means unknown.
+	PretrainedAt time.Time
 }
 
 // Result aggregates prediction quality and runtime overhead over a run,
@@ -60,6 +69,18 @@ type Result struct {
 	// below the tokenize+project floor in the Fig. 8 series.
 	CacheHits   uint64
 	CacheMisses uint64
+
+	// Degraded-mode accounting. A production replay over a flaky jobs
+	// data storage keeps serving: failed or empty retrains keep the
+	// previous model, and inference before any successful fit answers
+	// from the (job name, #cores) lookup fallback.
+	SkippedRetrainings  int           // triggers that kept the previous model (failed fetch, empty window or failed fit)
+	FailedFetches       int           // logical fetch failures absorbed by degradation
+	UnservedTriggers    int           // inference windows with no model, no fallback, or no data to serve them
+	FallbackPredictions int           // predictions answered by the lookup fallback
+	StaleTriggers       int           // inference windows served by a model from an earlier trigger
+	MaxStaleness        time.Duration // worst served-model age (trigger instant − last good train end)
+	LastTrainEnd        time.Time     // end of the last successful retraining window
 }
 
 // Run executes the schedule for params over [testStart, testEnd). The
@@ -84,75 +105,117 @@ func (r *Runner) Run(ctx context.Context, p Params, testStart, testEnd time.Time
 	var encodeJobs, charJobs int
 	var trainRows int
 
+	// trained tracks whether Model/JobModel currently holds a usable
+	// fit; lastTrain is the end of the window that produced it. The
+	// lookup fallback covers inference until the first successful fit.
+	trained := r.Pretrained
+	lastTrain := r.PretrainedAt
+	var fallback *baseline.Classifier
+	fallbackOK := false
+
 	for _, tr := range triggers {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("online: run canceled: %w", err)
 		}
 		// ---- Training Workflow ----
+		// Any failure here — fetch, empty window, fit — skips the
+		// retrain and keeps the previous model: stale beats dead (the
+		// paper's β-day cadence already tolerates staleness by design).
+		var labeledJobs []*job.Job
+		var labels []job.Label
 		window, err := r.Fetcher.FetchExecuted(ctx, tr.TrainStart, tr.TrainEnd)
 		if err != nil {
-			return nil, fmt.Errorf("online: fetch training window: %w", err)
-		}
-		t0 := time.Now()
-		r.Characterizer.GenerateLabels(window)
-		charTotal += time.Since(t0)
-		charJobs += len(window)
-
-		labeledJobs, labels := FilterLabeled(window)
-		if idx := SubsampleIndices(p, len(labeledJobs), rng); idx != nil {
-			sj := make([]*job.Job, len(idx))
-			sl := make([]job.Label, len(idx))
-			for i, k := range idx {
-				sj[i], sl[i] = labeledJobs[k], labels[k]
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("online: run canceled: %w", cerr)
 			}
-			labeledJobs, labels = sj, sl
-		}
-		if len(labeledJobs) == 0 {
-			return nil, fmt.Errorf("online: empty training window [%v, %v)", tr.TrainStart, tr.TrainEnd)
-		}
-		trainRows += len(labeledJobs)
-
-		if r.JobModel != nil {
-			t0 = time.Now()
-			if err := r.JobModel.TrainJobs(labeledJobs, labels); err != nil {
-				return nil, fmt.Errorf("online: train: %w", err)
-			}
-			trainTotal += time.Since(t0)
+			res.FailedFetches++
 		} else {
-			t0 = time.Now()
-			enc := r.Encoder.Encode(labeledJobs)
-			encodeTotal += time.Since(t0)
-			encodeJobs += len(labeledJobs)
+			t0 := time.Now()
+			r.Characterizer.GenerateLabels(window)
+			charTotal += time.Since(t0)
+			charJobs += len(window)
 
-			t0 = time.Now()
-			if err := r.Model.Train(enc, labels); err != nil {
-				return nil, fmt.Errorf("online: train: %w", err)
+			labeledJobs, labels = FilterLabeled(window)
+			if idx := SubsampleIndices(p, len(labeledJobs), rng); idx != nil {
+				sj := make([]*job.Job, len(idx))
+				sl := make([]job.Label, len(idx))
+				for i, k := range idx {
+					sj[i], sl[i] = labeledJobs[k], labels[k]
+				}
+				labeledJobs, labels = sj, sl
 			}
-			trainTotal += time.Since(t0)
 		}
-		res.Retrainings++
+
+		if len(labeledJobs) == 0 {
+			res.SkippedRetrainings++
+		} else if err := r.trainOn(labeledJobs, labels, &trainTotal, &encodeTotal, &encodeJobs); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("online: run canceled: %w", cerr)
+			}
+			res.SkippedRetrainings++
+			// The fit failed but the window is labeled: refresh the
+			// lookup fallback so pre-first-fit inference can answer.
+			if !trained {
+				if fallback == nil {
+					fallback = baseline.New()
+				}
+				if ferr := fallback.TrainJobs(labeledJobs, labels); ferr == nil {
+					fallbackOK = true
+				}
+			}
+		} else {
+			trained = true
+			lastTrain = tr.TrainEnd
+			trainRows += len(labeledJobs)
+			res.Retrainings++
+		}
 
 		// ---- Inference Workflow ----
 		submitted, err := r.Fetcher.FetchSubmitted(ctx, tr.InferStart, tr.InferEnd)
 		if err != nil {
-			return nil, fmt.Errorf("online: fetch inference window: %w", err)
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("online: run canceled: %w", cerr)
+			}
+			res.FailedFetches++
+			res.UnservedTriggers++
+			continue
 		}
 		if len(submitted) == 0 {
 			continue
 		}
 		var preds []job.Label
-		if r.JobModel != nil {
-			t0 = time.Now()
-			preds, err = r.JobModel.PredictJobs(submitted)
+		switch {
+		case trained:
+			t0 := time.Now()
+			if r.JobModel != nil {
+				preds, err = r.JobModel.PredictJobs(submitted)
+			} else {
+				enc := r.Encoder.Encode(submitted)
+				preds, err = r.Model.Predict(enc)
+			}
 			inferTotal += time.Since(t0)
-		} else {
-			t0 = time.Now()
-			enc := r.Encoder.Encode(submitted)
-			preds, err = r.Model.Predict(enc)
+			if err != nil {
+				return nil, fmt.Errorf("online: predict: %w", err)
+			}
+			if !lastTrain.IsZero() {
+				if stale := tr.TrainEnd.Sub(lastTrain); stale > 0 {
+					res.StaleTriggers++
+					if stale > res.MaxStaleness {
+						res.MaxStaleness = stale
+					}
+				}
+			}
+		case fallbackOK:
+			t0 := time.Now()
+			preds, err = fallback.PredictJobs(submitted)
 			inferTotal += time.Since(t0)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("online: predict: %w", err)
+			if err != nil {
+				return nil, fmt.Errorf("online: fallback predict: %w", err)
+			}
+			res.FallbackPredictions += len(submitted)
+		default:
+			res.UnservedTriggers++
+			continue
 		}
 		res.TestJobs += len(submitted)
 
@@ -167,6 +230,7 @@ func (r *Runner) Run(ctx context.Context, p Params, testStart, testEnd time.Time
 			res.Confusion.Add(pt.Label, preds[i])
 		}
 	}
+	res.LastTrainEnd = lastTrain
 
 	res.F1 = res.Confusion.F1Macro()
 	if res.Retrainings > 0 {
@@ -188,6 +252,26 @@ func (r *Runner) Run(ctx context.Context, p Params, testStart, testEnd time.Time
 		res.CacheMisses = cacheEnd.Misses - cacheStart.Misses
 	}
 	return res, nil
+}
+
+// trainOn fits the configured model on one labeled window, keeping the
+// run's timing accounting.
+func (r *Runner) trainOn(jobs []*job.Job, labels []job.Label, trainTotal, encodeTotal *time.Duration, encodeJobs *int) error {
+	if r.JobModel != nil {
+		t0 := time.Now()
+		err := r.JobModel.TrainJobs(jobs, labels)
+		*trainTotal += time.Since(t0)
+		return err
+	}
+	t0 := time.Now()
+	enc := r.Encoder.Encode(jobs)
+	*encodeTotal += time.Since(t0)
+	*encodeJobs += len(jobs)
+
+	t0 = time.Now()
+	err := r.Model.Train(enc, labels)
+	*trainTotal += time.Since(t0)
+	return err
 }
 
 func (r *Runner) check() error {

@@ -10,6 +10,7 @@ import (
 	"mcbound/internal/encode"
 	"mcbound/internal/fetch"
 	"mcbound/internal/job"
+	"mcbound/internal/ml"
 	"mcbound/internal/ml/baseline"
 	"mcbound/internal/ml/knn"
 	"mcbound/internal/roofline"
@@ -159,14 +160,101 @@ func TestRunnerChecksWiring(t *testing.T) {
 	}
 }
 
-func TestRunnerEmptyWindowFails(t *testing.T) {
-	// A training window before the trace begins must produce a clear
-	// error rather than an untrained model.
+func TestRunnerEmptyWindowSkipsRetrain(t *testing.T) {
+	// A training window before the trace begins no longer aborts the
+	// replay: the trigger is skipped and counted, and the run completes.
 	r := newRunner(t, handTrace(t))
 	r.Encoder = encode.NewEncoder(nil, nil)
 	r.Model = knn.New(knn.DefaultConfig())
 	early := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
-	if _, err := r.Run(context.Background(), Params{Alpha: 5, Beta: 1}, early, early.AddDate(0, 0, 3)); err == nil {
-		t.Error("empty training window did not fail")
+	res, err := r.Run(context.Background(), Params{Alpha: 5, Beta: 1}, early, early.AddDate(0, 0, 3))
+	if err != nil {
+		t.Fatalf("empty training windows aborted the replay: %v", err)
+	}
+	if res.Retrainings != 0 || res.SkippedRetrainings != 3 {
+		t.Errorf("retrainings = %d, skipped = %d, want 0 and 3", res.Retrainings, res.SkippedRetrainings)
+	}
+	if res.TestJobs != 0 || res.UnservedTriggers != 0 {
+		t.Errorf("test jobs = %d, unserved = %d on an empty period", res.TestJobs, res.UnservedTriggers)
+	}
+}
+
+// failingClassifier always refuses to fit, driving the fallback path.
+type failingClassifier struct{}
+
+func (failingClassifier) Train([][]float32, []job.Label) error { return fmt.Errorf("fit refused") }
+func (failingClassifier) Predict([][]float32) ([]job.Label, error) {
+	return nil, fmt.Errorf("not trained")
+}
+func (failingClassifier) Name() string { return "failing" }
+
+func TestRunnerFallbackBaselineWhenModelNeverFits(t *testing.T) {
+	// Every fit fails, but the windows are labeled: inference must be
+	// served by the (job name, #cores) lookup fallback, not abort.
+	r := newRunner(t, handTrace(t))
+	r.Encoder = encode.NewEncoder(nil, nil)
+	r.Model = failingClassifier{}
+	start, end := testPeriod()
+	res, err := r.Run(context.Background(), Params{Alpha: 15, Beta: 7}, start, end)
+	if err != nil {
+		t.Fatalf("failing fits aborted the replay: %v", err)
+	}
+	if res.Retrainings != 0 || res.SkippedRetrainings != 2 {
+		t.Errorf("retrainings = %d, skipped = %d, want 0 and 2", res.Retrainings, res.SkippedRetrainings)
+	}
+	if res.TestJobs == 0 || res.FallbackPredictions != res.TestJobs {
+		t.Errorf("fallback predictions = %d of %d test jobs, want all", res.FallbackPredictions, res.TestJobs)
+	}
+	if res.F1 != 1 {
+		t.Errorf("fallback F1 = %g on name-separable apps, want 1", res.F1)
+	}
+	if res.UnservedTriggers != 0 {
+		t.Errorf("unserved triggers = %d with a working fallback", res.UnservedTriggers)
+	}
+}
+
+// frozenClassifier serves predictions from an already-fitted model but
+// refuses every new fit — the shape of a replay where retraining is
+// permanently broken after a restore.
+type frozenClassifier struct{ ml.Classifier }
+
+func (frozenClassifier) Train([][]float32, []job.Label) error {
+	return fmt.Errorf("train disabled")
+}
+
+func TestRunnerPretrainedServesStale(t *testing.T) {
+	// A model restored from a registry (crash recovery) keeps serving
+	// when every subsequent retrain fails: stale beats dead.
+	st := handTrace(t)
+	r := newRunner(t, st)
+	r.Encoder = encode.NewEncoder(nil, nil)
+	r.Model = knn.New(knn.DefaultConfig())
+	start, end := testPeriod()
+	warm, err := r.Run(context.Background(), Params{Alpha: 15, Beta: 7}, start, start.AddDate(0, 0, 7))
+	if err != nil || warm.Retrainings != 1 {
+		t.Fatalf("warmup run = %+v, %v", warm, err)
+	}
+
+	r2 := newRunner(t, st)
+	r2.Encoder = r.Encoder
+	r2.Model = frozenClassifier{r.Model}
+	r2.Pretrained = true
+	r2.PretrainedAt = warm.LastTrainEnd
+	mid := start.AddDate(0, 0, 7)
+	res, err := r2.Run(context.Background(), Params{Alpha: 15, Beta: 7}, mid, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retrainings != 0 || res.SkippedRetrainings != 1 {
+		t.Errorf("retrainings = %d, skipped = %d, want 0 and 1", res.Retrainings, res.SkippedRetrainings)
+	}
+	if res.TestJobs == 0 || res.FallbackPredictions != 0 {
+		t.Errorf("test jobs = %d, fallback = %d; want stale-model serving", res.TestJobs, res.FallbackPredictions)
+	}
+	if res.StaleTriggers != 1 || res.MaxStaleness != 7*24*time.Hour {
+		t.Errorf("stale triggers = %d, max staleness = %v, want 1 and 168h", res.StaleTriggers, res.MaxStaleness)
+	}
+	if res.F1 != 1 {
+		t.Errorf("stale-model F1 = %g, want 1", res.F1)
 	}
 }

@@ -6,6 +6,7 @@ package persist
 
 import (
 	"encoding"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -68,6 +69,40 @@ func (r *Registry) Save(name string, m encoding.BinaryMarshaler) (int, error) {
 		return 0, fmt.Errorf("persist: %w", err)
 	}
 	return next, nil
+}
+
+// ErrNoValidVersion is wrapped by LoadLatestValid when a model has no
+// loadable version at all (none stored, or every file corrupted).
+var ErrNoValidVersion = errors.New("persist: no valid model version")
+
+// LoadLatestValid walks the stored versions newest-first, skipping any
+// file that cannot be read or unmarshaled (corrupted or truncated
+// writes, e.g. after a crash mid-rename), and returns the newest good
+// model. fresh must return a brand-new instance per call so a partial
+// unmarshal of a bad file can never leak state into the loaded model.
+// quarantined lists the skipped versions (newest first) so the operator
+// learns which files need attention; the files are left in place.
+func (r *Registry) LoadLatestValid(name string, fresh func() (encoding.BinaryUnmarshaler, error)) (m encoding.BinaryUnmarshaler, version int, quarantined []int, err error) {
+	versions, err := r.Versions(name)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	for i := len(versions) - 1; i >= 0; i-- {
+		v := versions[i]
+		m, err := fresh()
+		if err != nil {
+			return nil, 0, quarantined, err
+		}
+		if lerr := r.Load(name, v, m); lerr != nil {
+			quarantined = append(quarantined, v)
+			continue
+		}
+		return m, v, quarantined, nil
+	}
+	if len(versions) == 0 {
+		return nil, 0, nil, fmt.Errorf("%w: no saved versions of %q", ErrNoValidVersion, name)
+	}
+	return nil, 0, quarantined, fmt.Errorf("%w: all %d stored versions of %q are corrupted", ErrNoValidVersion, len(versions), name)
 }
 
 // LoadLatest reads the highest version of the named model into m and

@@ -1,6 +1,9 @@
 package persist
 
 import (
+	"encoding"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -157,6 +160,86 @@ func TestDifferentModelTypesCoexist(t *testing.T) {
 		if filepath.Ext(e.Name()) != ".model" {
 			t.Errorf("stray file %s", e.Name())
 		}
+	}
+}
+
+func freshKNN() (encoding.BinaryUnmarshaler, error) {
+	return knn.New(knn.DefaultConfig()), nil
+}
+
+func TestLoadLatestValidSkipsCorrupted(t *testing.T) {
+	// v1 is healthy; v2 is truncated mid-write; v3 is garbage. The
+	// crash-recovery path must quarantine v3 and v2 and load v1.
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Save("knn", trainedKNN(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Save("knn", trainedKNN(t)); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(filepath.Join(dir, "knn-v2.model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "knn-v2.model"), good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "knn-v3.model"), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, v, quarantined, err := reg.LoadLatestValid("knn", freshKNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("loaded v%d, want the last good v1", v)
+	}
+	if len(quarantined) != 2 || quarantined[0] != 3 || quarantined[1] != 2 {
+		t.Errorf("quarantined = %v, want [3 2] (newest first)", quarantined)
+	}
+	if m.(*knn.Classifier).TrainSize() != 2 {
+		t.Errorf("restored model train size = %d", m.(*knn.Classifier).TrainSize())
+	}
+	// Quarantined files are left in place for the operator.
+	for _, v := range []int{2, 3} {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("knn-v%d.model", v))); err != nil {
+			t.Errorf("quarantined v%d was deleted: %v", v, err)
+		}
+	}
+}
+
+func TestLoadLatestValidAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"knn-v1.model", "knn-v2.model"} {
+		if err := os.WriteFile(filepath.Join(dir, fn), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, quarantined, err := reg.LoadLatestValid("knn", freshKNN)
+	if !errors.Is(err, ErrNoValidVersion) {
+		t.Errorf("all-corrupt registry: err = %v, want ErrNoValidVersion", err)
+	}
+	if len(quarantined) != 2 {
+		t.Errorf("quarantined = %v, want both versions", quarantined)
+	}
+}
+
+func TestLoadLatestValidEmpty(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := reg.LoadLatestValid("never-saved", freshKNN); !errors.Is(err, ErrNoValidVersion) {
+		t.Errorf("empty registry: err = %v, want ErrNoValidVersion", err)
 	}
 }
 

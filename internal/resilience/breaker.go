@@ -1,0 +1,210 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is the circuit breaker position.
+type State int
+
+// The three breaker states. Numeric values are stable: the
+// mcbound_breaker_state gauge exports them directly.
+const (
+	Closed   State = 0 // calls flow, consecutive failures counted
+	HalfOpen State = 1 // cooldown elapsed, one probe in flight at a time
+	Open     State = 2 // calls rejected until the cooldown elapses
+)
+
+// String names the state for health endpoints and logs.
+func (s State) String() string {
+	switch s {
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes the circuit breaker. The zero value is usable:
+// defaults are filled in by NewBreaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// the breaker; below 1 behaves as 5.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe; below 1ns behaves as 10 s.
+	Cooldown time.Duration
+	// HalfOpenSuccesses is how many consecutive probe successes close
+	// the breaker again; below 1 behaves as 1.
+	HalfOpenSuccesses int
+	// Clock overrides time.Now (deterministic tests).
+	Clock func() time.Time
+}
+
+// Breaker is a three-state circuit breaker, safe for concurrent use.
+// Callers pair Allow with Record, or use Do for both.
+//
+// Classification: a nil error and a context.Canceled error are neutral
+// for the failure count (a client giving up says nothing about backend
+// health); every other error — including deadline overruns and errors
+// marked Permanent — counts as a failure.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	fails    int       // consecutive failures while closed
+	probes   int       // consecutive successes while half-open
+	probing  bool      // a half-open probe is in flight
+	openedAt time.Time // instant of the closed/half-open → open trip
+	opens    int64     // lifetime trip count
+
+	// OnStateChange, when non-nil, observes every transition (telemetry
+	// hook; called outside the breaker lock). Set before first use.
+	OnStateChange func(from, to State)
+}
+
+// NewBreaker builds a Breaker, filling config defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold < 1 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 10 * time.Second
+	}
+	if cfg.HalfOpenSuccesses < 1 {
+		cfg.HalfOpenSuccesses = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow asks whether a call may proceed. It returns nil (and, in
+// half-open, reserves the probe slot) or an *OpenError carrying the
+// time until the next admission. Every successful Allow must be paired
+// with exactly one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	b.tickLocked()
+	switch b.state {
+	case Open:
+		wait := b.cfg.Cooldown - b.cfg.Clock().Sub(b.openedAt)
+		b.mu.Unlock()
+		if wait < 0 {
+			wait = 0
+		}
+		return &OpenError{RetryAfter: wait}
+	case HalfOpen:
+		if b.probing {
+			// The probe in flight resolves on the order of one call, not
+			// one cooldown; hint accordingly.
+			b.mu.Unlock()
+			return &OpenError{RetryAfter: time.Second}
+		}
+		b.probing = true
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// Record reports the outcome of a call admitted by Allow.
+func (b *Breaker) Record(err error) {
+	neutral := err != nil && errors.Is(err, context.Canceled)
+	b.mu.Lock()
+	from := b.state
+	switch b.state {
+	case Closed:
+		switch {
+		case err == nil:
+			b.fails = 0
+		case neutral:
+		default:
+			b.fails++
+			if b.fails >= b.cfg.FailureThreshold {
+				b.tripLocked()
+			}
+		}
+	case HalfOpen:
+		b.probing = false
+		switch {
+		case err == nil:
+			b.probes++
+			if b.probes >= b.cfg.HalfOpenSuccesses {
+				b.state = Closed
+				b.fails = 0
+				b.probes = 0
+			}
+		case neutral:
+		default:
+			b.tripLocked()
+		}
+	case Open:
+		// A call admitted before the trip finished late; outcome is moot.
+	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+// Do is the convenience pairing of Allow, op and Record.
+func (b *Breaker) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op(ctx)
+	b.Record(err)
+	return err
+}
+
+// State returns the current position, applying the time-based
+// open → half-open transition first.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	b.tickLocked()
+	s := b.state
+	b.mu.Unlock()
+	return s
+}
+
+// Opens returns the lifetime number of trips to Open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// tripLocked moves to Open from any state. Caller holds b.mu.
+func (b *Breaker) tripLocked() {
+	b.state = Open
+	b.fails = 0
+	b.probes = 0
+	b.probing = false
+	b.openedAt = b.cfg.Clock()
+	b.opens++
+}
+
+// tickLocked applies the cooldown expiry. Caller holds b.mu; the
+// resulting transition is not reported through OnStateChange (it is a
+// read-side effect, observed by the next Allow/State caller).
+func (b *Breaker) tickLocked() {
+	if b.state == Open && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = HalfOpen
+		b.probes = 0
+		b.probing = false
+	}
+}
+
+func (b *Breaker) notify(from, to State) {
+	if from != to {
+		if hook := b.OnStateChange; hook != nil {
+			hook(from, to)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package resilience
+
+import "mcbound/internal/telemetry"
+
+// InstrumentRetrier exports a retrier's attempt traffic on reg:
+//
+//	mcbound_resilience_attempts_total{op,outcome}  every attempt, by
+//	                                               ok/transient/permanent
+//	mcbound_resilience_retries_total{op}           attempts after the first
+//
+// op is the bounded-cardinality operation label (e.g. "fetch_executed").
+// Call before the retrier is shared across goroutines.
+func InstrumentRetrier(reg *telemetry.Registry, op string, r *Retrier) {
+	attempts := func(outcome string) *telemetry.Counter {
+		return reg.Counter("mcbound_resilience_attempts_total",
+			"Fetch-layer attempts by operation and outcome.",
+			telemetry.Labels{"op": op, "outcome": outcome})
+	}
+	retries := reg.Counter("mcbound_resilience_retries_total",
+		"Fetch-layer retry attempts (attempts after the first).",
+		telemetry.Labels{"op": op})
+	r.OnAttempt = func(attempt int, err error) {
+		switch {
+		case err == nil:
+			attempts("ok").Inc()
+		case IsPermanent(err):
+			attempts("permanent").Inc()
+		default:
+			attempts("transient").Inc()
+		}
+		if attempt > 1 {
+			retries.Inc()
+		}
+	}
+}
+
+// InstrumentBreaker exports a breaker's position and trip count on reg:
+//
+//	mcbound_breaker_state{op}        0 closed, 1 half-open, 2 open
+//	mcbound_breaker_opens_total{op}  lifetime trips to open
+//
+// Call before the breaker is shared across goroutines.
+func InstrumentBreaker(reg *telemetry.Registry, op string, b *Breaker) {
+	reg.GaugeFunc("mcbound_breaker_state",
+		"Circuit breaker position (0 closed, 1 half-open, 2 open).",
+		telemetry.Labels{"op": op}, func() float64 { return float64(b.State()) })
+	opens := reg.Counter("mcbound_breaker_opens_total",
+		"Circuit breaker trips to the open state.", telemetry.Labels{"op": op})
+	b.OnStateChange = func(_, to State) {
+		if to == Open {
+			opens.Inc()
+		}
+	}
+}
