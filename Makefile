@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt fuzz chaos check bench bench-all
+.PHONY: all build test race vet fmt fuzz chaos stress check bench bench-all
 
 all: check
 
@@ -36,8 +36,15 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzTokenize$$ -fuzztime=$(FUZZTIME) ./internal/encode
 	$(GO) test -run=^$$ -fuzz=^FuzzEmbed$$ -fuzztime=$(FUZZTIME) ./internal/encode
 	$(GO) test -run=^$$ -fuzz=^FuzzReadJSONL$$ -fuzztime=$(FUZZTIME) ./internal/store
+	$(GO) test -run=^$$ -fuzz=^FuzzTimeoutHeader$$ -fuzztime=$(FUZZTIME) ./internal/admission
 
-check: build vet fmt race chaos fuzz
+# Overload stress: drives the admission controller and the full HTTP
+# serving path through a 10x concurrency burst under the race detector
+# and checks the shed-accounting identity holds exactly.
+stress:
+	$(GO) test -race -count=1 -run 'Overload|AccountingIdentityUnderStress' ./internal/admission ./internal/httpapi
+
+check: build vet fmt race chaos stress fuzz
 
 # Serving-path perf trajectory: single classify hot/cold in the
 # embedding cache, 1000-job batch serial vs. all cores, full train.

@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"mcbound/internal/admission"
 	"mcbound/internal/core"
 	"mcbound/internal/encode"
 	"mcbound/internal/fetch"
@@ -53,6 +55,15 @@ type report struct {
 	// Derived ratios.
 	CacheSpeedup float64 `json:"cache_speedup"`
 	BatchSpeedup float64 `json:"batch_speedup"`
+
+	// Admission-control costs: the fast-path toll every request pays,
+	// and the outcome of a synthetic 10× overload burst (the run aborts
+	// with exit 1 if the shed accounting does not reconcile exactly).
+	AdmitReleaseNs        int64 `json:"admit_release_ns"`
+	OverloadOffered       int64 `json:"overload_offered"`
+	OverloadAdmitted      int64 `json:"overload_admitted"`
+	OverloadShedQueueFull int64 `json:"overload_shed_queue_full"`
+	OverloadShedDoomed    int64 `json:"overload_shed_doomed"`
 }
 
 func main() {
@@ -138,6 +149,23 @@ func run(out string) error {
 		}
 	})
 
+	fmt.Println("benchmarking admission fast path...")
+	adm := admission.NewController(admission.DefaultConfig())
+	rep.AdmitReleaseNs = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tk, err := adm.Admit(ctx, admission.Interactive, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			tk.Release()
+		}
+	})
+
+	fmt.Println("running synthetic 10x overload burst...")
+	if err := benchOverload(&rep); err != nil {
+		return err
+	}
+
 	if rep.ClassifySingleHotNs > 0 {
 		rep.CacheSpeedup = float64(rep.ClassifySingleColdNs) / float64(rep.ClassifySingleHotNs)
 	}
@@ -156,6 +184,75 @@ func run(out string) error {
 	fmt.Printf("wrote %s: hot=%dns cold=%dns (cache ×%.1f), batch1k w1=%dns wmax=%dns (×%.2f), train=%dns\n",
 		out, rep.ClassifySingleHotNs, rep.ClassifySingleColdNs, rep.CacheSpeedup,
 		rep.ClassifyBatch1kW1Ns, rep.ClassifyBatch1kWMxNs, rep.BatchSpeedup, rep.TrainNs)
+	fmt.Printf("admission: fast path %dns; overload offered=%d admitted=%d shed(queue_full)=%d shed(doomed)=%d (reconciled)\n",
+		rep.AdmitReleaseNs, rep.OverloadOffered, rep.OverloadAdmitted,
+		rep.OverloadShedQueueFull, rep.OverloadShedDoomed)
+	return nil
+}
+
+// benchOverload throws a sustained 10× burst at a small admission
+// budget — 40 concurrent clients against 4 slots, a tenth of them with
+// a deadline below the warmed p95 (pre-doomed) — then verifies the
+// books: admitted + shed(queue_full) + shed(doomed) + shed(rate_limited)
+// must equal offered exactly, or the whole bench run fails.
+func benchOverload(rep *report) error {
+	const (
+		slots     = 4
+		clients   = 10 * slots
+		perClient = 25
+		service   = 2 * time.Millisecond
+	)
+	adm := admission.NewController(admission.Config{
+		MinConcurrency:     2,
+		MaxConcurrency:     slots,
+		InitialConcurrency: slots,
+		QueueDepth:         2 * slots,
+		AdjustEvery:        32,
+	})
+	// Warm the p95 estimator so doomed-request shedding is armed.
+	for i := 0; i < 32; i++ {
+		adm.Limiter().Observe(service)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				reqCtx := ctx
+				if w < clients/10 && k%2 == 0 {
+					var cancel context.CancelFunc
+					reqCtx, cancel = context.WithTimeout(ctx, service/4)
+					defer cancel()
+				}
+				tk, err := adm.Admit(reqCtx, admission.Interactive, "")
+				if err != nil {
+					continue
+				}
+				time.Sleep(service)
+				tk.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := adm.Stats()
+	rep.OverloadOffered = s.Offered
+	rep.OverloadAdmitted = s.Admitted
+	rep.OverloadShedQueueFull = s.ShedQueueFull
+	rep.OverloadShedDoomed = s.ShedDoomed
+	if got := s.Admitted + s.Shed(); got != s.Offered {
+		return fmt.Errorf("overload accounting does not reconcile: admitted %d + shed %d != offered %d (%+v)",
+			s.Admitted, s.Shed(), s.Offered, s)
+	}
+	if s.ShedCanceled != 0 {
+		return fmt.Errorf("overload accounting misclassified %d deadline expiries as cancels", s.ShedCanceled)
+	}
+	if s.Admitted == 0 {
+		return fmt.Errorf("overload burst produced zero goodput")
+	}
 	return nil
 }
 

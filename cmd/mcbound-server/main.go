@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"mcbound/internal/admission"
 	"mcbound/internal/core"
 	"mcbound/internal/encode"
 	"mcbound/internal/experiments"
@@ -52,6 +53,12 @@ type options struct {
 	retrainEvery time.Duration
 	drainTimeout time.Duration
 	encodeCache  int
+
+	// Overload protection.
+	maxConcurrency  int
+	queueDepth      int
+	defaultDeadline time.Duration
+	rateLimit       float64
 
 	// Resilient fetch layer.
 	fetchAttempts    int
@@ -81,6 +88,10 @@ func main() {
 	flag.DurationVar(&o.retrainEvery, "retrain-every", 0, "wall-clock retraining period for the cron ticker (0 = disabled)")
 	flag.DurationVar(&o.drainTimeout, "shutdown-timeout", httpapi.DefaultDrainTimeout, "in-flight request drain budget on shutdown")
 	flag.IntVar(&o.encodeCache, "encode-cache", encode.DefaultCacheCapacity, "embedding cache capacity in entries (0 = disabled)")
+	flag.IntVar(&o.maxConcurrency, "max-concurrency", 64, "hard ceiling on concurrent requests (the adaptive limit stays below it)")
+	flag.IntVar(&o.queueDepth, "queue-depth", 128, "admission wait-queue capacity across all priority tiers")
+	flag.DurationVar(&o.defaultDeadline, "default-deadline", httpapi.DefaultDeadline, "per-request deadline for interactive routes (X-Request-Timeout overrides, clamped)")
+	flag.Float64Var(&o.rateLimit, "rate-limit", 0, "per-client admission rate in requests/second (0 = disabled)")
 	flag.IntVar(&o.fetchAttempts, "fetch-attempts", 4, "attempts per storage query (retries with jittered exponential backoff)")
 	flag.DurationVar(&o.fetchBackoff, "fetch-backoff", 50*time.Millisecond, "base backoff between storage query retries")
 	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive storage failures before the circuit breaker opens")
@@ -186,11 +197,21 @@ func run(o options) error {
 			rep.LabeledJobs, rep.TrainDuration.Seconds(), rep.ModelVersion)
 	}
 
+	// Overload protection: the admission controller gates every route
+	// (and the cron retrain below) so a submission storm degrades into
+	// typed 429/503 rejections instead of unbounded queueing.
+	adm := admission.NewController(admission.Config{
+		MaxConcurrency: o.maxConcurrency,
+		QueueDepth:     o.queueDepth,
+		RateLimit:      o.rateLimit,
+	})
 	api := httpapi.New(fw, st, log.Default(), httpapi.Options{
-		MaxBodyBytes: o.maxBody,
-		EnablePprof:  o.pprof,
-		Registry:     reg,
-		Breaker:      resilient.Breaker(),
+		MaxBodyBytes:    o.maxBody,
+		EnablePprof:     o.pprof,
+		Registry:        reg,
+		Breaker:         resilient.Breaker(),
+		Admission:       adm,
+		DefaultDeadline: o.defaultDeadline,
 	})
 	api.ObserveTrain(rep, trainErr)
 
@@ -214,7 +235,16 @@ func run(o options) error {
 					if at.IsZero() {
 						at = time.Now().UTC()
 					}
+					// Retraining competes with inference for the same
+					// cores: admit it at background priority so it holds
+					// at most a quarter of the concurrency budget.
+					tk, admErr := adm.Admit(ctx, admission.Background, "cron")
+					if admErr != nil {
+						log.Printf("cron retraining not admitted: %v", admErr)
+						continue
+					}
 					rep, err := fw.Train(ctx, at)
+					tk.Release()
 					api.ObserveTrain(rep, err)
 					if err != nil {
 						log.Printf("cron retraining failed: %v", err)

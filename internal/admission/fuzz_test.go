@@ -1,0 +1,45 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzTimeoutHeader drives ParseTimeout and ParseClientID with
+// arbitrary header bytes. The contract under fuzzing: no panics, and
+// every accepted timeout lies in [MinTimeout, max] regardless of input.
+func FuzzTimeoutHeader(f *testing.F) {
+	seeds := []string{
+		"", "250", "0", "-1", "1.5", "250ms", "2s", "1m", "-5ms",
+		"9223372036854775807", "-9223372036854775808",
+		"9999999999999999999999h", "1ns", "0x10", "soon",
+		"tenant-7", "svc.batch_loader", "has space", "ünïcode",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const (
+		def = 2 * time.Second
+		max = 30 * time.Second
+	)
+	f.Fuzz(func(t *testing.T, v string) {
+		d, err := ParseTimeout(v, def, max)
+		if err == nil && (d < MinTimeout || d > max) {
+			t.Fatalf("ParseTimeout(%q) = %v escaped clamp [%v, %v]", v, d, MinTimeout, max)
+		}
+		if err != nil && d != 0 {
+			t.Fatalf("ParseTimeout(%q) returned %v alongside error %v", v, d, err)
+		}
+		// Degenerate clamp bounds must also hold.
+		if d2, err2 := ParseTimeout(v, -time.Second, 0); err2 == nil && d2 != MinTimeout {
+			t.Fatalf("ParseTimeout(%q) with degenerate max = %v, want %v", v, d2, MinTimeout)
+		}
+		id := ParseClientID(v)
+		if len(id) > 128 {
+			t.Fatalf("ParseClientID(%q) exceeded 128 bytes", v)
+		}
+		if id != "" && id != v {
+			t.Fatalf("ParseClientID(%q) rewrote the id to %q", v, id)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package admission
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testLimiterConfig() Config {
+	return Config{
+		MinConcurrency:     2,
+		MaxConcurrency:     16,
+		InitialConcurrency: 8,
+		AdjustEvery:        8,
+		Tolerance:          2,
+		DecreaseFactor:     0.5,
+	}.withDefaults()
+}
+
+func TestLimiterDecreasesOnLatencyDegradation(t *testing.T) {
+	l := newLimiter(testLimiterConfig())
+	// Healthy window anchors the baseline at 10ms.
+	for i := 0; i < 8; i++ {
+		l.Observe(10 * time.Millisecond)
+	}
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("limit after healthy window = %d, want 8 (no demand, no increase)", got)
+	}
+	// Degraded window: p50 jumps past tolerance×baseline → multiplicative cut.
+	for i := 0; i < 8; i++ {
+		l.Observe(100 * time.Millisecond)
+	}
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("limit after degraded window = %d, want 4", got)
+	}
+	// Keep degrading: clamped at MinConcurrency.
+	for w := 0; w < 5; w++ {
+		for i := 0; i < 8; i++ {
+			l.Observe(time.Second)
+		}
+	}
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit = %d, want clamp at min 2", got)
+	}
+}
+
+func TestLimiterIncreasesOnlyUnderDemand(t *testing.T) {
+	l := newLimiter(testLimiterConfig())
+	for i := 0; i < 8; i++ {
+		l.Observe(10 * time.Millisecond)
+	}
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("limit = %d, want 8 (healthy but idle)", got)
+	}
+	l.NoteDemand()
+	for i := 0; i < 8; i++ {
+		l.Observe(10 * time.Millisecond)
+	}
+	if got := l.Limit(); got != 9 {
+		t.Fatalf("limit = %d, want 9 (healthy with queued demand)", got)
+	}
+}
+
+func TestLimiterP95ColdThenWarm(t *testing.T) {
+	l := newLimiter(testLimiterConfig())
+	if got := l.P95(); got != 0 {
+		t.Fatalf("cold p95 = %v, want 0", got)
+	}
+	for i := 0; i < 7; i++ {
+		l.Observe(10 * time.Millisecond)
+	}
+	l.Observe(90 * time.Millisecond)
+	p95 := l.P95()
+	if p95 < 10*time.Millisecond || p95 > 90*time.Millisecond {
+		t.Fatalf("p95 = %v, want within observed range", p95)
+	}
+	if l.Adjustments() != 1 {
+		t.Fatalf("adjustments = %d, want 1", l.Adjustments())
+	}
+}
+
+func TestLimiterRejectsPathologicalSamples(t *testing.T) {
+	l := newLimiter(testLimiterConfig())
+	l.Observe(-time.Second)
+	l.Observe(time.Duration(math.MaxInt64))
+	for _, s := range []float64{math.NaN(), math.Inf(1)} {
+		l.Observe(time.Duration(s))
+	}
+	if l.Adjustments() != 0 {
+		t.Fatal("pathological samples advanced the window")
+	}
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("limit = %d, want untouched 8", got)
+	}
+}
+
+func TestLimiterDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int, time.Duration) {
+		l := newLimiter(testLimiterConfig())
+		for i := 0; i < 1000; i++ {
+			l.NoteDemand()
+			l.Observe(time.Duration(1+i%17) * time.Millisecond)
+		}
+		return l.Limit(), l.P95()
+	}
+	l1, p1 := run()
+	l2, p2 := run()
+	if l1 != l2 || p1 != p2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", l1, p1, l2, p2)
+	}
+}
+
+func TestRateLimiterRefillAndRetryAfter(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	rl := NewRateLimiter(10, 2, 8, clock)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.Allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := rl.Allow("a")
+	if ok {
+		t.Fatal("over-burst request allowed")
+	}
+	if retry <= 0 || retry > 200*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 100ms] at 10 rps", retry)
+	}
+	// After the hinted wait, one token is back.
+	now = now.Add(retry)
+	if ok, _ := rl.Allow("a"); !ok {
+		t.Fatal("request denied after waiting the hinted Retry-After")
+	}
+}
+
+func TestRateLimiterLRUEviction(t *testing.T) {
+	now := time.Unix(0, 0)
+	rl := NewRateLimiter(1, 1, 2, func() time.Time { return now })
+	rl.Allow("a") // a spends its only token
+	rl.Allow("b")
+	rl.Allow("c") // evicts a (capacity 2)
+	if got := rl.Clients(); got != 2 {
+		t.Fatalf("clients = %d, want 2", got)
+	}
+	// a returns with a fresh bucket: its spent token is forgotten.
+	if ok, _ := rl.Allow("a"); !ok {
+		t.Fatal("re-inserted client denied its burst")
+	}
+}

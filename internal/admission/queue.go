@@ -1,0 +1,83 @@
+package admission
+
+import "time"
+
+// waiter is one queued admission request. It is owned by the
+// Controller mutex while queued; done is buffered so shedding and
+// granting never block the queue.
+type waiter struct {
+	pri       Priority
+	deadline  time.Time
+	hasDl     bool
+	enqueued  time.Time
+	grantedAt time.Time
+	done      chan error // nil = granted, error = shed
+	finished  bool
+}
+
+// finish resolves the waiter exactly once.
+func (w *waiter) finish(err error) {
+	if w.finished {
+		return
+	}
+	w.finished = true
+	w.done <- err
+}
+
+// waitQueue is the bounded wait room: one FIFO per tier (Critical is
+// never queued). Dequeue is oldest-first within a tier; overflow
+// displacement is newest-first from the lowest tier (LIFO shed), so
+// under sustained overload the requests most likely to still matter —
+// the oldest, highest-priority ones — keep their place.
+type waitQueue struct {
+	tiers [3][]*waiter // indexed by Priority: Background, Batch, Interactive
+}
+
+func (q *waitQueue) len() int {
+	n := 0
+	for i := range q.tiers {
+		n += len(q.tiers[i])
+	}
+	return n
+}
+
+func (q *waitQueue) lenTier(p Priority) int { return len(q.tiers[p]) }
+
+func (q *waitQueue) push(w *waiter) { q.tiers[w.pri] = append(q.tiers[w.pri], w) }
+
+// oldest returns the head of a tier without removing it.
+func (q *waitQueue) oldest(p Priority) *waiter {
+	if len(q.tiers[p]) == 0 {
+		return nil
+	}
+	return q.tiers[p][0]
+}
+
+// remove unlinks w; it reports false if w was already granted or shed.
+func (q *waitQueue) remove(w *waiter) bool {
+	tier := q.tiers[w.pri]
+	for i, x := range tier {
+		if x == w {
+			q.tiers[w.pri] = append(tier[:i], tier[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// evictNewestBelow removes and returns the most recently enqueued
+// displaceable waiter of the lowest tier strictly below pri, or nil
+// when none exists (the incomer is then the one to shed). Each tier's
+// oldest waiter is displacement-protected: paired with the reserved
+// queue seat in Admit, this guarantees a queued retrain survives an
+// interactive flood instead of being evicted the instant it enqueues.
+func (q *waitQueue) evictNewestBelow(pri Priority) *waiter {
+	for t := Priority(0); t < pri && int(t) < len(q.tiers); t++ {
+		if n := len(q.tiers[t]); n > 1 {
+			w := q.tiers[t][n-1]
+			q.tiers[t] = q.tiers[t][:n-1]
+			return w
+		}
+	}
+	return nil
+}

@@ -205,6 +205,7 @@ type TrainReport struct {
 	FetchedJobs            int
 	LabeledJobs            int
 	SkippedJobs            int
+	QuarantinedJobs        int // jobs dropped for pathological PMU counters (NaN/Inf/negative)
 	TrainDuration          time.Duration
 	ModelVersion           int // 0 when persistence is disabled
 
@@ -276,8 +277,8 @@ func (f *Framework) train(ctx context.Context, now time.Time) (*TrainReport, err
 	}
 	rep := &TrainReport{WindowStart: start, WindowEnd: now, FetchedJobs: len(window)}
 
-	labeled, skipped := f.characterizer.GenerateLabels(window)
-	rep.LabeledJobs, rep.SkippedJobs = labeled, skipped
+	labeled, skipped, quarantined := f.characterizer.GenerateLabels(window)
+	rep.LabeledJobs, rep.SkippedJobs, rep.QuarantinedJobs = labeled, skipped, quarantined
 
 	jobs := make([]*job.Job, 0, labeled)
 	labels := make([]job.Label, 0, labeled)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"mcbound/internal/admission"
 	"mcbound/internal/core"
 	"mcbound/internal/job"
 	"mcbound/internal/resilience"
@@ -31,6 +32,8 @@ const (
 	codeCanceled     = "canceled"
 	codeDeadline     = "deadline_exceeded"
 	codeBreakerOpen  = "breaker_open"
+	codeOverloaded   = "overloaded"
+	codeRateLimited  = "rate_limited"
 	codeInternal     = "internal"
 )
 
@@ -62,6 +65,10 @@ func errToStatus(err error) (status int, code string) {
 		return http.StatusServiceUnavailable, codeNotTrained
 	case errors.Is(err, resilience.ErrOpen):
 		return http.StatusServiceUnavailable, codeBreakerOpen
+	case errors.Is(err, admission.ErrRateLimited):
+		return http.StatusTooManyRequests, codeRateLimited
+	case errors.Is(err, admission.ErrQueueFull), errors.Is(err, admission.ErrDoomed):
+		return http.StatusServiceUnavailable, codeOverloaded
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, codeDeadline
 	case errors.Is(err, context.Canceled):

@@ -17,12 +17,13 @@ var trainBuckets = []float64{.01, .05, .1, .5, 1, 5, 15, 60, 300}
 // hot-swap redesign added — a train-inflight gauge, coalesced-trigger
 // counting and embedding-cache effectiveness.
 type appMetrics struct {
-	trainRuns     func(outcome string) *telemetry.Counter
-	trainDuration *telemetry.Histogram
-	jobsFetched   *telemetry.Counter
-	jobsLabeled   *telemetry.Counter
-	jobsSkipped   *telemetry.Counter
-	modelVersion  *telemetry.Gauge
+	trainRuns       func(outcome string) *telemetry.Counter
+	trainDuration   *telemetry.Histogram
+	jobsFetched     *telemetry.Counter
+	jobsLabeled     *telemetry.Counter
+	jobsSkipped     *telemetry.Counter
+	jobsQuarantined *telemetry.Counter
+	modelVersion    *telemetry.Gauge
 
 	classifyJobs     *telemetry.Counter
 	classifyDuration *telemetry.Histogram
@@ -70,6 +71,8 @@ func newAppMetrics(reg *telemetry.Registry, storeLen func() int, fw *core.Framew
 			"Jobs the Roofline characterizer labeled for training.", nil),
 		jobsSkipped: reg.Counter("mcbound_train_jobs_skipped_total",
 			"Jobs in training windows without characterizable counters.", nil),
+		jobsQuarantined: reg.Counter("mcbound_train_jobs_quarantined_total",
+			"Jobs dropped from training windows for pathological (NaN/Inf/negative) counters.", nil),
 		modelVersion: reg.Gauge("mcbound_model_version",
 			"Version of the currently served model (0 = unpersisted).", nil),
 		classifyJobs: reg.Counter("mcbound_classify_jobs_total",
@@ -98,6 +101,7 @@ func (m *appMetrics) observeTrain(rep *core.TrainReport, err error) {
 	m.jobsFetched.Add(int64(rep.FetchedJobs))
 	m.jobsLabeled.Add(int64(rep.LabeledJobs))
 	m.jobsSkipped.Add(int64(rep.SkippedJobs))
+	m.jobsQuarantined.Add(int64(rep.QuarantinedJobs))
 	m.modelVersion.Set(float64(rep.ModelVersion))
 }
 

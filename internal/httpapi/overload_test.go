@@ -1,0 +1,362 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcbound/internal/admission"
+	"mcbound/internal/fetch"
+	"mcbound/internal/job"
+)
+
+// laggyBackend delays single-job lookups, making GET /v1/classify/{id}
+// a measurable unit of service time for overload experiments. It also
+// counts concurrent entries so tests can verify the process never runs
+// more work at once than the configured concurrency bound.
+type laggyBackend struct {
+	fetch.Backend
+	delay      time.Duration
+	inflight   atomic.Int64
+	maxSeen    atomic.Int64
+	totalCalls atomic.Int64
+}
+
+func (b *laggyBackend) JobByID(ctx context.Context, id string) (*job.Job, error) {
+	cur := b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	b.totalCalls.Add(1)
+	for {
+		max := b.maxSeen.Load()
+		if cur <= max || b.maxSeen.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	select {
+	case <-time.After(b.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return b.Backend.JobByID(ctx, id)
+}
+
+func doGet(t *testing.T, client *http.Client, url string, header map[string]string) (*http.Response, errorBody) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body errorBody
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp, body
+}
+
+func TestOverloadBadTimeoutHeaderIs400(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := doGet(t, http.DefaultClient, srv.URL+"/v1/model",
+		map[string]string{admission.TimeoutHeader: "soon"})
+	if resp.StatusCode != http.StatusBadRequest || body.Code != codeBadRequest {
+		t.Fatalf("status %d code %q, want 400 %q", resp.StatusCode, body.Code, codeBadRequest)
+	}
+}
+
+func TestOverloadRateLimitedIsTyped429(t *testing.T) {
+	st := seedStore(t)
+	adm := admission.NewController(admission.Config{RateLimit: 0.001, RateBurst: 2})
+	srv := httptest.NewServer(newAPI(t, st, nil, true, Options{Admission: adm}))
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 2; i++ {
+		resp, body := doGet(t, http.DefaultClient, srv.URL+"/v1/model", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d (%s)", i, resp.StatusCode, body.Error)
+		}
+	}
+	resp, body := doGet(t, http.DefaultClient, srv.URL+"/v1/model", nil)
+	if resp.StatusCode != http.StatusTooManyRequests || body.Code != codeRateLimited {
+		t.Fatalf("status %d code %q, want 429 %q", resp.StatusCode, body.Code, codeRateLimited)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	// A distinct client identity has its own bucket.
+	resp, _ = doGet(t, http.DefaultClient, srv.URL+"/v1/model",
+		map[string]string{admission.ClientIDHeader: "other-tenant"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestOverloadHealthzAlwaysAdmitted(t *testing.T) {
+	st := seedStore(t)
+	backend := &laggyBackend{Backend: fetch.StoreBackend{Store: st}, delay: 300 * time.Millisecond}
+	adm := admission.NewController(admission.Config{
+		MinConcurrency: 1, MaxConcurrency: 1, InitialConcurrency: 1, QueueDepth: 1,
+	})
+	srv := httptest.NewServer(newAPI(t, st, backend, true, Options{Admission: adm}))
+	t.Cleanup(srv.Close)
+
+	// Saturate the single slot and fill the queue.
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-release
+			resp, err := http.Get(srv.URL + "/v1/classify/s0000")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for adm.Inflight() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The health probe answers 200 while inference is saturated, and it
+	// travels the instrumented chain (X-Request-Id present).
+	resp, _ := doGet(t, http.DefaultClient, srv.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under saturation: status %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("healthz skipped the request-ID middleware")
+	}
+	wg.Wait()
+	if s := adm.Stats(); s.Bypassed == 0 {
+		t.Fatalf("health probe not accounted as bypassed: %+v", s)
+	}
+}
+
+func TestOverloadQueueFullIsTyped503(t *testing.T) {
+	st := seedStore(t)
+	backend := &laggyBackend{Backend: fetch.StoreBackend{Store: st}, delay: 200 * time.Millisecond}
+	adm := admission.NewController(admission.Config{
+		MinConcurrency: 1, MaxConcurrency: 1, InitialConcurrency: 1, QueueDepth: 1,
+	})
+	srv := httptest.NewServer(newAPI(t, st, backend, true, Options{Admission: adm}))
+	t.Cleanup(srv.Close)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/v1/classify/s0000")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && (adm.Inflight() < 1 || adm.QueueLen() < 1) {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := doGet(t, http.DefaultClient, srv.URL+"/v1/classify/s0000", nil)
+	wg.Wait()
+	if resp.StatusCode != http.StatusServiceUnavailable || body.Code != codeOverloaded {
+		t.Fatalf("status %d code %q, want 503 %q", resp.StatusCode, body.Code, codeOverloaded)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+}
+
+// TestOverloadBurst is the acceptance scenario: a 10× overload burst
+// against a small concurrency budget. It verifies that (1) the process
+// never runs more concurrent work than the configured bound, (2) the
+// p99 of admitted requests stays within 5× the unloaded p99, (3) every
+// rejection is a typed 429/503 with Retry-After, (4) the shed
+// accounting reconciles exactly, and (5) a retrain admitted during the
+// burst completes while inference goodput stays above zero.
+func TestOverloadBurst(t *testing.T) {
+	const (
+		maxConc    = 4
+		queueDepth = 6
+		warmN      = 32
+		clients    = 10 * maxConc // 10× the concurrency budget, sustained
+		perClient  = 6
+		burstN     = clients * perClient
+		doomedN    = 10
+	)
+	st := seedStore(t)
+	backend := &laggyBackend{Backend: fetch.StoreBackend{Store: st}, delay: 20 * time.Millisecond}
+	adm := admission.NewController(admission.Config{
+		MinConcurrency:     2,
+		MaxConcurrency:     maxConc,
+		InitialConcurrency: maxConc,
+		QueueDepth:         queueDepth,
+		AdjustEvery:        16,
+	})
+	srv := httptest.NewServer(newAPI(t, st, backend, true, Options{Admission: adm}))
+	t.Cleanup(srv.Close)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	classify := func(i int, header map[string]string) (int, string, time.Duration) {
+		req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/classify/s%04d", srv.URL, i%200), nil)
+		if err != nil {
+			t.Error(err)
+			return 0, "", 0
+		}
+		for k, v := range header {
+			req.Header.Set(k, v)
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Error(err)
+			return 0, "", 0
+		}
+		defer resp.Body.Close()
+		var body errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, resp.Header.Get("Retry-After"), time.Since(t0)
+	}
+
+	// Phase 1 — unloaded: measure the baseline p99 and warm the p95
+	// service-time estimator (doomed shedding is off while cold).
+	var unloaded []time.Duration
+	for i := 0; i < warmN; i++ {
+		code, _, d := classify(i, nil)
+		if code != http.StatusOK {
+			t.Fatalf("warm request %d: status %d", i, code)
+		}
+		unloaded = append(unloaded, d)
+	}
+	sort.Slice(unloaded, func(i, j int) bool { return unloaded[i] < unloaded[j] })
+	unloadedP99 := unloaded[len(unloaded)*99/100]
+	if p95 := adm.Limiter().P95(); p95 <= 0 {
+		t.Fatalf("p95 estimator still cold after %d requests", warmN)
+	}
+	before := adm.Stats()
+
+	// Phase 2 — the burst: burstN concurrent classifies, doomedN probes
+	// with a 2ms budget (below the ~20ms p95: pre-doomed), one retrain.
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		admittedLat []time.Duration
+		okN         int64
+		rejectedN   int64
+		badReject   []string
+	)
+	wg.Add(1)
+	trainDone := make(chan int, 1)
+	go func() {
+		defer wg.Done()
+		resp, err := client.Post(srv.URL+"/v1/train", "application/json",
+			strings.NewReader(`{"now":"2024-01-15T00:00:00Z"}`))
+		if err != nil {
+			t.Error(err)
+			trainDone <- 0
+			return
+		}
+		resp.Body.Close()
+		trainDone <- resp.StatusCode
+	}()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				i := w*perClient + k
+				var header map[string]string
+				if k == 0 && w < doomedN {
+					// A 2ms budget against a ~20ms p95: pre-doomed.
+					header = map[string]string{admission.TimeoutHeader: "2"}
+				}
+				code, retryAfter, d := classify(i, header)
+				mu.Lock()
+				switch code {
+				case http.StatusOK:
+					okN++
+					admittedLat = append(admittedLat, d)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					rejectedN++
+					if retryAfter == "" {
+						badReject = append(badReject, fmt.Sprintf("req %d: %d without Retry-After", i, code))
+					}
+				default:
+					badReject = append(badReject, fmt.Sprintf("req %d: unexpected status %d", i, code))
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// (5) The retrain completed and inference goodput stayed above zero.
+	if code := <-trainDone; code != http.StatusOK {
+		t.Errorf("retrain during burst: status %d, want 200", code)
+	}
+	if okN == 0 {
+		t.Fatal("goodput dropped to zero during the burst")
+	}
+	// (3) Every rejection was a typed 429/503 with Retry-After.
+	for _, msg := range badReject {
+		t.Error(msg)
+	}
+	// (1) Concurrency stayed within the configured bound.
+	if max := backend.maxSeen.Load(); max > maxConc {
+		t.Errorf("observed %d concurrent backend calls, bound is %d", max, maxConc)
+	}
+	// (2) Admitted p99 within 5× the unloaded p99.
+	sort.Slice(admittedLat, func(i, j int) bool { return admittedLat[i] < admittedLat[j] })
+	admittedP99 := admittedLat[len(admittedLat)*99/100]
+	if admittedP99 > 5*unloadedP99 {
+		t.Errorf("admitted p99 %v exceeds 5× unloaded p99 %v", admittedP99, unloadedP99)
+	}
+	// (4) Exact shed accounting: client-observed outcomes reconcile with
+	// the controller's books, and the identity holds with no cancels.
+	after := adm.Stats()
+	d := admission.Stats{
+		Offered:         after.Offered - before.Offered,
+		Admitted:        after.Admitted - before.Admitted,
+		ShedQueueFull:   after.ShedQueueFull - before.ShedQueueFull,
+		ShedDoomed:      after.ShedDoomed - before.ShedDoomed,
+		ShedRateLimited: after.ShedRateLimited - before.ShedRateLimited,
+		ShedCanceled:    after.ShedCanceled - before.ShedCanceled,
+	}
+	if d.Offered != burstN+1 { // +1 for the retrain
+		t.Errorf("offered = %d, want %d", d.Offered, burstN+1)
+	}
+	if d.ShedCanceled != 0 {
+		t.Errorf("shed(canceled) = %d, want 0 (no client canceled)", d.ShedCanceled)
+	}
+	if got := d.Admitted + d.ShedQueueFull + d.ShedDoomed + d.ShedRateLimited; got != d.Offered {
+		t.Errorf("admitted %d + shed(queue_full) %d + shed(doomed) %d + shed(rate_limited) %d = %d, want offered %d",
+			d.Admitted, d.ShedQueueFull, d.ShedDoomed, d.ShedRateLimited, got, d.Offered)
+	}
+	if d.Admitted != okN+1 { // +1: the admitted retrain
+		t.Errorf("controller admitted %d, clients saw %d successes (+1 retrain)", d.Admitted, okN)
+	}
+	if d.ShedDoomed < doomedN {
+		t.Errorf("shed(doomed) = %d, want >= %d (every 2ms probe is pre-doomed)", d.ShedDoomed, doomedN)
+	}
+	if rejectedN != d.ShedQueueFull+d.ShedDoomed+d.ShedRateLimited {
+		t.Errorf("clients saw %d rejections, controller shed %d",
+			rejectedN, d.ShedQueueFull+d.ShedDoomed+d.ShedRateLimited)
+	}
+	t.Logf("burst: offered=%d admitted=%d shed(queue_full)=%d shed(doomed)=%d unloaded_p99=%v admitted_p99=%v",
+		d.Offered, d.Admitted, d.ShedQueueFull, d.ShedDoomed, unloadedP99, admittedP99)
+}

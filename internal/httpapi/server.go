@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"time"
 
+	"mcbound/internal/admission"
 	"mcbound/internal/core"
 	"mcbound/internal/job"
 	"mcbound/internal/resilience"
@@ -39,6 +40,17 @@ import (
 
 // DefaultMaxBodyBytes caps POST bodies at 8 MiB unless overridden.
 const DefaultMaxBodyBytes = 8 << 20
+
+// Deadline defaults: every request runs under a context deadline (the
+// overload model's doomed-request shedding needs one to reason about).
+const (
+	// DefaultDeadline bounds interactive requests unless the client
+	// sends X-Request-Timeout.
+	DefaultDeadline = 10 * time.Second
+	// DefaultMaxDeadline is the hard ceiling any client header is
+	// clamped to.
+	DefaultMaxDeadline = 2 * time.Minute
+)
 
 // Options tune the serving layer. The zero value is production-safe.
 type Options struct {
@@ -55,19 +67,34 @@ type Options struct {
 	// Breaker, when set, is the fetch-layer circuit breaker whose state
 	// /healthz reports; nil omits the field.
 	Breaker *resilience.Breaker
+
+	// Admission is the overload-protection controller every route passes
+	// through; nil builds one with admission.DefaultConfig (the serving
+	// path is never unprotected).
+	Admission *admission.Controller
+
+	// DefaultDeadline is the per-request deadline for interactive routes
+	// (batch and background routes scale it up; see guard.go). 0 selects
+	// DefaultDeadline. MaxDeadline caps client-requested timeouts; 0
+	// selects DefaultMaxDeadline.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
 }
 
 // Server wires a Framework and its job store into an http.Handler.
 type Server struct {
-	fw      *core.Framework
-	store   *store.Store
-	mux     *http.ServeMux
-	handler http.Handler
-	log     *log.Logger
-	reg     *telemetry.Registry
-	metrics *appMetrics
-	maxBody int64
-	breaker *resilience.Breaker
+	fw              *core.Framework
+	store           *store.Store
+	mux             *http.ServeMux
+	handler         http.Handler
+	log             *log.Logger
+	reg             *telemetry.Registry
+	metrics         *appMetrics
+	maxBody         int64
+	breaker         *resilience.Breaker
+	adm             *admission.Controller
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
 }
 
 // New builds a Server. The store must be the same one backing the
@@ -82,24 +109,44 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{
-		fw:      fw,
-		store:   st,
-		mux:     http.NewServeMux(),
-		log:     logger,
-		reg:     opts.Registry,
-		metrics: newAppMetrics(opts.Registry, st.Len, fw),
-		maxBody: opts.MaxBodyBytes,
-		breaker: opts.Breaker,
+	if opts.Admission == nil {
+		opts.Admission = admission.NewController(admission.DefaultConfig())
 	}
-	s.route("GET /healthz", s.handleHealth)
-	s.route("GET /v1/model", s.handleModel)
-	s.route("POST /v1/train", s.handleTrain)
-	s.route("POST /v1/jobs", s.handleInsert)
-	s.route("GET /v1/classify/{id}", s.handleClassifyByID)
-	s.route("POST /v1/classify", s.handleClassifyJobs)
-	s.route("GET /v1/classify", s.handleClassifyRange)
-	s.route("GET /v1/characterize", s.handleCharacterize)
+	if opts.DefaultDeadline <= 0 {
+		opts.DefaultDeadline = DefaultDeadline
+	}
+	if opts.MaxDeadline <= 0 {
+		opts.MaxDeadline = DefaultMaxDeadline
+	}
+	if opts.MaxDeadline < opts.DefaultDeadline {
+		opts.MaxDeadline = opts.DefaultDeadline
+	}
+	s := &Server{
+		fw:              fw,
+		store:           st,
+		mux:             http.NewServeMux(),
+		log:             logger,
+		reg:             opts.Registry,
+		metrics:         newAppMetrics(opts.Registry, st.Len, fw),
+		maxBody:         opts.MaxBodyBytes,
+		breaker:         opts.Breaker,
+		adm:             opts.Admission,
+		defaultDeadline: opts.DefaultDeadline,
+		maxDeadline:     opts.MaxDeadline,
+	}
+	registerAdmissionMetrics(s.reg, s.adm)
+	// Route priorities: the inference hot path is Interactive, bulk
+	// range/batch endpoints are Batch, retraining is Background (capped
+	// so a hot-swap never starves inference), and the health probe is
+	// Critical — instrumented like everything else but always admitted.
+	s.route("GET /healthz", s.guard(admission.Critical, s.handleHealth))
+	s.route("GET /v1/model", s.guard(admission.Interactive, s.handleModel))
+	s.route("POST /v1/train", s.guard(admission.Background, s.handleTrain))
+	s.route("POST /v1/jobs", s.guard(admission.Batch, s.handleInsert))
+	s.route("GET /v1/classify/{id}", s.guard(admission.Interactive, s.handleClassifyByID))
+	s.route("POST /v1/classify", s.guard(admission.Interactive, s.handleClassifyJobs))
+	s.route("GET /v1/classify", s.guard(admission.Batch, s.handleClassifyRange))
+	s.route("GET /v1/characterize", s.guard(admission.Batch, s.handleCharacterize))
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -150,11 +197,16 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps err through errToStatus and emits the error envelope.
-// Breaker rejections carry their cooldown as a Retry-After header so
-// well-behaved clients back off instead of hammering an open circuit.
+// Breaker and admission rejections carry their cooldown as a
+// Retry-After header so well-behaved clients back off instead of
+// hammering an overloaded server.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, code := errToStatus(err)
-	if after, ok := resilience.RetryAfter(err); ok {
+	after, ok := resilience.RetryAfter(err)
+	if !ok {
+		after, ok = admission.RetryAfter(err)
+	}
+	if ok {
 		secs := int(math.Ceil(after.Seconds()))
 		if secs < 1 {
 			secs = 1
@@ -230,13 +282,14 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"window_start":  rep.WindowStart,
-		"window_end":    rep.WindowEnd,
-		"fetched_jobs":  rep.FetchedJobs,
-		"labeled_jobs":  rep.LabeledJobs,
-		"skipped_jobs":  rep.SkippedJobs,
-		"train_seconds": rep.TrainDuration.Seconds(),
-		"model_version": rep.ModelVersion,
+		"window_start":     rep.WindowStart,
+		"window_end":       rep.WindowEnd,
+		"fetched_jobs":     rep.FetchedJobs,
+		"labeled_jobs":     rep.LabeledJobs,
+		"skipped_jobs":     rep.SkippedJobs,
+		"quarantined_jobs": rep.QuarantinedJobs,
+		"train_seconds":    rep.TrainDuration.Seconds(),
+		"model_version":    rep.ModelVersion,
 	})
 }
 

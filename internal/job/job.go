@@ -7,6 +7,7 @@ package job
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -78,6 +79,44 @@ type PerfCounters struct {
 	TofuBytes float64 `json:"tofu_bytes,omitempty"`
 }
 
+// ErrBadCounters is the sentinel wrapped by PerfCounters.Validate
+// failures: counters that are NaN, infinite, or negative. The
+// characterizer quarantines such jobs rather than letting them poison
+// the Roofline position with NaN operational intensity.
+var ErrBadCounters = errors.New("pathological performance counters")
+
+// Validate rejects counter sets no real PMU can produce: NaN, ±Inf or
+// negative raw values, and counter magnitudes so large the Eq. 4/5
+// derivations overflow float64. Failures wrap ErrBadCounters.
+func (c PerfCounters) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"perf2", c.Perf2},
+		{"perf3", c.Perf3},
+		{"perf4", c.Perf4},
+		{"perf5", c.Perf5},
+		{"tofu_bytes", c.TofuBytes},
+	} {
+		switch {
+		case math.IsNaN(f.v):
+			return fmt.Errorf("job: counter %s is NaN: %w", f.name, ErrBadCounters)
+		case math.IsInf(f.v, 0):
+			return fmt.Errorf("job: counter %s is infinite: %w", f.name, ErrBadCounters)
+		case f.v < 0:
+			return fmt.Errorf("job: counter %s = %g is negative: %w", f.name, f.v, ErrBadCounters)
+		}
+	}
+	if flops := c.Flops(); math.IsInf(flops, 0) {
+		return fmt.Errorf("job: derived flops overflow (perf2=%g perf3=%g): %w", c.Perf2, c.Perf3, ErrBadCounters)
+	}
+	if mb := c.MovedBytes(); math.IsInf(mb, 0) {
+		return fmt.Errorf("job: derived moved bytes overflow (perf4=%g perf5=%g): %w", c.Perf4, c.Perf5, ErrBadCounters)
+	}
+	return nil
+}
+
 // Job is a single job run record. Submission-time fields are available to
 // the online classifier; execution and counter fields only exist after the
 // job completes and are used exclusively for characterization (ground
@@ -137,6 +176,9 @@ func (j *Job) Validate() error {
 		return fmt.Errorf("job %s: start before submit: %w", j.ID, ErrInvalid)
 	case j.FreqRequested != FreqNormal && j.FreqRequested != FreqBoost:
 		return fmt.Errorf("job %s: invalid frequency %d: %w", j.ID, j.FreqRequested, ErrInvalid)
+	}
+	if err := j.Counters.Validate(); err != nil {
+		return fmt.Errorf("job %s: %w: %w", j.ID, err, ErrInvalid)
 	}
 	return nil
 }

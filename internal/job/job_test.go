@@ -1,6 +1,8 @@
 package job
 
 import (
+	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -151,5 +153,46 @@ func TestPerfCounterProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPerfCountersValidate(t *testing.T) {
+	if err := (PerfCounters{Perf2: 1e12, Perf4: 1e9}).Validate(); err != nil {
+		t.Fatalf("valid counters rejected: %v", err)
+	}
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		c    PerfCounters
+	}{
+		{"nan perf2", PerfCounters{Perf2: nan}},
+		{"nan perf3", PerfCounters{Perf3: nan}},
+		{"nan perf4", PerfCounters{Perf4: nan}},
+		{"nan perf5", PerfCounters{Perf5: nan}},
+		{"nan tofu", PerfCounters{TofuBytes: nan}},
+		{"inf perf2", PerfCounters{Perf2: inf}},
+		{"neg inf perf3", PerfCounters{Perf3: math.Inf(-1)}},
+		{"negative perf4", PerfCounters{Perf4: -1}},
+		{"negative perf5", PerfCounters{Perf5: -0.5}},
+		{"flops overflow", PerfCounters{Perf2: math.MaxFloat64, Perf3: math.MaxFloat64}},
+		{"bytes overflow", PerfCounters{Perf4: math.MaxFloat64, Perf5: math.MaxFloat64}},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if !errors.Is(err, ErrBadCounters) {
+			t.Errorf("%s: err = %v, want ErrBadCounters", tc.name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadCounters(t *testing.T) {
+	j := validJob()
+	j.Counters.Perf2 = math.NaN()
+	err := j.Validate()
+	if !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid", err)
+	}
+	if !errors.Is(err, ErrBadCounters) {
+		t.Errorf("err = %v, want ErrBadCounters in chain", err)
 	}
 }

@@ -76,6 +76,7 @@ type Result struct {
 	// from the (job name, #cores) lookup fallback.
 	SkippedRetrainings  int           // triggers that kept the previous model (failed fetch, empty window or failed fit)
 	FailedFetches       int           // logical fetch failures absorbed by degradation
+	QuarantinedJobs     int           // training-window jobs dropped for pathological counters
 	UnservedTriggers    int           // inference windows with no model, no fallback, or no data to serve them
 	FallbackPredictions int           // predictions answered by the lookup fallback
 	StaleTriggers       int           // inference windows served by a model from an earlier trigger
@@ -131,7 +132,8 @@ func (r *Runner) Run(ctx context.Context, p Params, testStart, testEnd time.Time
 			res.FailedFetches++
 		} else {
 			t0 := time.Now()
-			r.Characterizer.GenerateLabels(window)
+			_, _, quarantined := r.Characterizer.GenerateLabels(window)
+			res.QuarantinedJobs += quarantined
 			charTotal += time.Since(t0)
 			charJobs += len(window)
 

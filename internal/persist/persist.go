@@ -8,6 +8,7 @@ import (
 	"encoding"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -141,6 +142,13 @@ func (r *Registry) Versions(name string) ([]int, error) {
 	}
 	entries, err := os.ReadDir(r.dir)
 	if err != nil {
+		// A registry directory that vanished (or was never created —
+		// e.g. a Registry handed a raw -model-dir path) simply holds no
+		// versions; LoadLatestValid then reports ErrNoValidVersion
+		// instead of a filesystem error the caller cannot branch on.
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	prefix := name + "-v"

@@ -262,3 +262,49 @@ func TestVersionsIgnoresForeignFiles(t *testing.T) {
 		t.Errorf("foreign files counted as versions: %v", versions)
 	}
 }
+
+func TestLoadLatestValidNonexistentDir(t *testing.T) {
+	// A -model-dir that disappears after startup (or was never created)
+	// must look like an empty registry, not a filesystem error or panic.
+	dir := filepath.Join(t.TempDir(), "models")
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, v, quarantined, err := reg.LoadLatestValid("knn", freshKNN)
+	if !errors.Is(err, ErrNoValidVersion) {
+		t.Errorf("missing dir: err = %v, want ErrNoValidVersion", err)
+	}
+	if m != nil || v != 0 || len(quarantined) != 0 {
+		t.Errorf("missing dir: got model=%v version=%d quarantined=%v, want none", m, v, quarantined)
+	}
+	versions, err := reg.Versions("knn")
+	if err != nil || len(versions) != 0 {
+		t.Errorf("Versions on missing dir = %v, %v; want empty, nil", versions, err)
+	}
+}
+
+func TestLoadLatestValidOnlyForeignFiles(t *testing.T) {
+	// A directory holding only files the registry doesn't recognize has
+	// no versions to offer: ErrNoValidVersion, nothing quarantined.
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"README.txt", "knn-v1.model.tmp-123", "rf-v1.model"} {
+		if err := os.WriteFile(filepath.Join(dir, fn), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, quarantined, err := reg.LoadLatestValid("knn", freshKNN)
+	if !errors.Is(err, ErrNoValidVersion) {
+		t.Errorf("foreign-only dir: err = %v, want ErrNoValidVersion", err)
+	}
+	if len(quarantined) != 0 {
+		t.Errorf("quarantined = %v, want none (nothing was a knn version)", quarantined)
+	}
+}

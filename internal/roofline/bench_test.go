@@ -30,7 +30,7 @@ func BenchmarkGenerateLabels(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		labeled, _ := c.GenerateLabels(jobs)
+		labeled, _, _ := c.GenerateLabels(jobs)
 		if labeled == 0 {
 			b.Fatal("nothing labeled")
 		}

@@ -115,6 +115,9 @@ func (c *Characterizer) Characterize(j *job.Job) (Point, error) {
 	if nodes <= 0 {
 		return Point{}, fmt.Errorf("%w: job %s", ErrZeroNodes, j.ID)
 	}
+	if err := j.Counters.Validate(); err != nil {
+		return Point{}, fmt.Errorf("roofline: job %s: %w", j.ID, err)
+	}
 	flops := j.Counters.Flops()
 	bytes := j.Counters.MovedBytes()
 	if bytes <= 0 {
@@ -131,19 +134,27 @@ func (c *Characterizer) Characterize(j *job.Job) (Point, error) {
 }
 
 // GenerateLabels characterizes every job in jobs, writing the label into
-// Job.TrueLabel. Jobs that cannot be characterized keep label Unknown and
-// are counted in skipped. This is the batch API the Training Workflow
-// invokes to build its reference dataset.
-func (c *Characterizer) GenerateLabels(jobs []*job.Job) (labeled, skipped int) {
+// Job.TrueLabel. Jobs that cannot be characterized keep label Unknown:
+// structurally incomplete ones (no execution data, zero duration/nodes,
+// no memory moved) count in skipped, while jobs with pathological
+// counters (NaN/Inf/negative, job.ErrBadCounters) count in quarantined —
+// the latter indicate trace corruption and are surfaced separately so
+// operators can spot a poisoned window. This is the batch API the
+// Training Workflow invokes to build its reference dataset.
+func (c *Characterizer) GenerateLabels(jobs []*job.Job) (labeled, skipped, quarantined int) {
 	for _, j := range jobs {
 		pt, err := c.Characterize(j)
 		if err != nil {
 			j.TrueLabel = job.Unknown
-			skipped++
+			if errors.Is(err, job.ErrBadCounters) {
+				quarantined++
+			} else {
+				skipped++
+			}
 			continue
 		}
 		j.TrueLabel = pt.Label
 		labeled++
 	}
-	return labeled, skipped
+	return labeled, skipped, quarantined
 }

@@ -151,9 +151,9 @@ func TestGenerateLabels(t *testing.T) {
 		syntheticJob(400, 50, 600, 4), // compute-bound
 		syntheticJob(100, 50, 600, 0), // uncharacterizable
 	}
-	labeled, skipped := c.GenerateLabels(jobs)
-	if labeled != 2 || skipped != 1 {
-		t.Fatalf("labeled/skipped = %d/%d, want 2/1", labeled, skipped)
+	labeled, skipped, quarantined := c.GenerateLabels(jobs)
+	if labeled != 2 || skipped != 1 || quarantined != 0 {
+		t.Fatalf("labeled/skipped/quarantined = %d/%d/%d, want 2/1/0", labeled, skipped, quarantined)
 	}
 	if jobs[0].TrueLabel != job.MemoryBound || jobs[1].TrueLabel != job.ComputeBound {
 		t.Errorf("labels = %v, %v", jobs[0].TrueLabel, jobs[1].TrueLabel)
@@ -206,5 +206,47 @@ func TestClassificationMonotoneInFlops(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCharacterizeRejectsPathologicalCounters(t *testing.T) {
+	c := NewCharacterizer(fugakuModel())
+	cases := []struct {
+		name string
+		mut  func(*job.PerfCounters)
+	}{
+		{"nan perf2", func(p *job.PerfCounters) { p.Perf2 = math.NaN() }},
+		{"inf perf4", func(p *job.PerfCounters) { p.Perf4 = math.Inf(1) }},
+		{"negative perf5", func(p *job.PerfCounters) { p.Perf5 = -1 }},
+		{"overflowing flops", func(p *job.PerfCounters) { p.Perf2, p.Perf3 = math.MaxFloat64, math.MaxFloat64 }},
+	}
+	for _, tc := range cases {
+		j := syntheticJob(100, 50, 600, 4)
+		tc.mut(&j.Counters)
+		pt, err := c.Characterize(j)
+		if !errors.Is(err, job.ErrBadCounters) {
+			t.Errorf("%s: err = %v, want job.ErrBadCounters", tc.name, err)
+		}
+		if pt != (Point{}) {
+			t.Errorf("%s: returned a non-zero point %+v for bad counters", tc.name, pt)
+		}
+	}
+}
+
+func TestGenerateLabelsQuarantinesBadCounters(t *testing.T) {
+	c := NewCharacterizer(fugakuModel())
+	bad := syntheticJob(100, 50, 600, 4)
+	bad.Counters.Perf3 = math.NaN()
+	jobs := []*job.Job{
+		syntheticJob(100, 50, 600, 4), // memory-bound
+		bad,                           // pathological -> quarantined
+		syntheticJob(100, 50, 600, 0), // uncharacterizable -> skipped
+	}
+	labeled, skipped, quarantined := c.GenerateLabels(jobs)
+	if labeled != 1 || skipped != 1 || quarantined != 1 {
+		t.Fatalf("labeled/skipped/quarantined = %d/%d/%d, want 1/1/1", labeled, skipped, quarantined)
+	}
+	if bad.TrueLabel != job.Unknown {
+		t.Errorf("quarantined job label = %v, want unknown (must not poison training)", bad.TrueLabel)
 	}
 }

@@ -30,6 +30,22 @@ type Labels map[string]string
 // matching the Prometheus client defaults.
 var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
+// ExponentialBuckets returns count bounds starting at start and growing
+// by factor — the natural shape for queue-wait distributions that span
+// microseconds to seconds. Panics on non-positive start, factor <= 1 or
+// count < 1, mirroring the Prometheus client contract.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: ExponentialBuckets requires start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
 // Counter is a monotonically increasing value.
 type Counter struct {
 	v atomic.Int64
@@ -84,6 +100,16 @@ type gaugeFunc struct {
 
 func (g *gaugeFunc) write(w io.Writer, series string) {
 	fmt.Fprintf(w, "%s %s\n", series, formatFloat(g.fn()))
+}
+
+// counterFunc exposes an externally maintained monotonic count (e.g.
+// the admission controller's shed counters) without double bookkeeping.
+type counterFunc struct {
+	fn func() int64
+}
+
+func (c *counterFunc) write(w io.Writer, series string) {
+	fmt.Fprintf(w, "%s %d\n", series, c.fn())
 }
 
 // Histogram is a fixed-bucket distribution. Buckets are cumulative at
@@ -211,6 +237,12 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 // GaugeFunc registers a gauge sampled from fn at exposition time.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
 	r.family(name, help, "gauge").getOrCreate(labels, func() seriesWriter { return &gaugeFunc{fn: fn} })
+}
+
+// CounterFunc registers a counter sampled from fn at exposition time.
+// fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {
+	r.family(name, help, "counter").getOrCreate(labels, func() seriesWriter { return &counterFunc{fn: fn} })
 }
 
 // Histogram returns the histogram series for name+labels with the given
