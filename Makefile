@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt fuzz chaos stress check bench bench-all
+.PHONY: all build test race vet fmt fuzz chaos stress crash check bench bench-all
 
 all: check
 
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzEmbed$$ -fuzztime=$(FUZZTIME) ./internal/encode
 	$(GO) test -run=^$$ -fuzz=^FuzzReadJSONL$$ -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run=^$$ -fuzz=^FuzzTimeoutHeader$$ -fuzztime=$(FUZZTIME) ./internal/admission
+	$(GO) test -run=^$$ -fuzz=^FuzzWALFrame$$ -fuzztime=$(FUZZTIME) ./internal/wal
 
 # Overload stress: drives the admission controller and the full HTTP
 # serving path through a 10x concurrency burst under the race detector
@@ -44,7 +45,14 @@ fuzz:
 stress:
 	$(GO) test -race -count=1 -run 'Overload|AccountingIdentityUnderStress' ./internal/admission ./internal/httpapi
 
-check: build vet fmt race chaos stress fuzz
+# Crash-consistency suite: seeded kill points at arbitrary byte offsets
+# over a fault-injecting filesystem (torn writes, bit flips, lost
+# unsynced tails); checks acknowledged inserts survive recovery exactly,
+# under the race detector.
+crash:
+	$(GO) test -race -count=1 -run 'Crash' ./internal/wal ./internal/store
+
+check: build vet fmt race chaos stress crash fuzz
 
 # Serving-path perf trajectory: single classify hot/cold in the
 # embedding cache, 1000-job batch serial vs. all cores, full train.

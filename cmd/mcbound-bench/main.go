@@ -36,6 +36,8 @@ import (
 	"mcbound/internal/fetch"
 	"mcbound/internal/job"
 	"mcbound/internal/store"
+	"mcbound/internal/wal"
+	"mcbound/internal/wal/crashfs"
 )
 
 // report is the BENCH_serving.json schema.
@@ -64,6 +66,16 @@ type report struct {
 	OverloadAdmitted      int64 `json:"overload_admitted"`
 	OverloadShedQueueFull int64 `json:"overload_shed_queue_full"`
 	OverloadShedDoomed    int64 `json:"overload_shed_doomed"`
+
+	// Durable-store costs: ns per acknowledged WAL append on a real
+	// filesystem, per fsync policy, plus the simulated-kill recovery
+	// gate (the run aborts with exit 1 if fsync=always recovery loses
+	// an acknowledged record).
+	WALAppendAlwaysNs   int64 `json:"wal_append_always_ns"`
+	WALAppendIntervalNs int64 `json:"wal_append_interval_ns"`
+	WALAppendNeverNs    int64 `json:"wal_append_never_ns"`
+	WALKillAcked        int64 `json:"wal_kill_acked_records"`
+	WALKillRecovered    int64 `json:"wal_kill_recovered_records"`
 }
 
 func main() {
@@ -166,6 +178,11 @@ func run(out string) error {
 		return err
 	}
 
+	fmt.Println("benchmarking WAL append per fsync policy...")
+	if err := benchWAL(&rep); err != nil {
+		return err
+	}
+
 	if rep.ClassifySingleHotNs > 0 {
 		rep.CacheSpeedup = float64(rep.ClassifySingleColdNs) / float64(rep.ClassifySingleHotNs)
 	}
@@ -187,6 +204,89 @@ func run(out string) error {
 	fmt.Printf("admission: fast path %dns; overload offered=%d admitted=%d shed(queue_full)=%d shed(doomed)=%d (reconciled)\n",
 		rep.AdmitReleaseNs, rep.OverloadOffered, rep.OverloadAdmitted,
 		rep.OverloadShedQueueFull, rep.OverloadShedDoomed)
+	fmt.Printf("wal: append always=%dns interval=%dns never=%dns; kill recovery %d/%d acked records (exact)\n",
+		rep.WALAppendAlwaysNs, rep.WALAppendIntervalNs, rep.WALAppendNeverNs,
+		rep.WALKillRecovered, rep.WALKillAcked)
+	return nil
+}
+
+// benchWAL measures the per-record cost of an acknowledged append under
+// each fsync policy on a real temp directory (so `always` pays a true
+// fsync), then replays a seeded kill on the crash-injecting filesystem
+// and fails the whole bench run if recovery returns anything other than
+// exactly the acknowledged prefix.
+func benchWAL(rep *report) error {
+	// A payload the size of a marshaled job record.
+	payload := make([]byte, 200)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	for _, pc := range []struct {
+		policy wal.Policy
+		dst    *int64
+	}{
+		{wal.FsyncAlways, &rep.WALAppendAlwaysNs},
+		{wal.FsyncInterval, &rep.WALAppendIntervalNs},
+		{wal.FsyncNever, &rep.WALAppendNeverNs},
+	} {
+		dir, err := os.MkdirTemp("", "mcbound-walbench-")
+		if err != nil {
+			return err
+		}
+		w, _, err := wal.Open(dir, wal.Options{Policy: pc.policy}, nil)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		*pc.dst = nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if err := w.Close(); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		os.RemoveAll(dir)
+	}
+
+	// The acceptance gate: kill mid-stream under fsync=always, crash,
+	// recover, and require the acknowledged prefix back bit-exactly.
+	fs := crashfs.New(20260805)
+	w, _, err := wal.Open("wal", wal.Options{FS: fs, Policy: wal.FsyncAlways, SegmentBytes: 4096}, nil)
+	if err != nil {
+		return err
+	}
+	fs.KillAfterBytes(3000)
+	acked := 0
+	for i := 0; i < 500; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("r-%05d", i))); err != nil {
+			break
+		}
+		acked++
+	}
+	fs.Crash()
+	recovered := 0
+	next := 0
+	w2, rec, err := wal.Open("wal", wal.Options{Policy: wal.FsyncAlways, FS: fs}, func(p []byte) error {
+		if want := fmt.Sprintf("r-%05d", next); string(p) != want {
+			return fmt.Errorf("recovered record %d = %q, want %q", next, p, want)
+		}
+		next++
+		recovered++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("wal kill recovery: %w", err)
+	}
+	w2.Close()
+	rep.WALKillAcked, rep.WALKillRecovered = int64(acked), int64(recovered)
+	if recovered != acked {
+		return fmt.Errorf("wal kill recovery lost acknowledged records: recovered %d, acked %d (outcome %s)",
+			recovered, acked, rec.Outcome())
+	}
 	return nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"mcbound/internal/httpapi"
 	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
+	"mcbound/internal/wal"
 	"mcbound/internal/workload"
 )
 
@@ -69,6 +70,13 @@ type options struct {
 	// Fault injection (testing the degraded paths end to end).
 	chaosRate float64
 	chaosSeed uint64
+
+	// Durable job store (write-ahead log + snapshots).
+	dataDir       string
+	fsync         string
+	fsyncInterval time.Duration
+	segmentBytes  int64
+	snapshotEvery int
 }
 
 func main() {
@@ -98,6 +106,11 @@ func main() {
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 10*time.Second, "open-breaker cooldown before a half-open probe")
 	flag.Float64Var(&o.chaosRate, "chaos-rate", 0, "inject transient storage faults at this rate in [0,1] (testing only)")
 	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 1, "fault-injection schedule seed (with -chaos-rate)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "directory for the durable job store (WAL + snapshots); empty = in-memory only. Existing durable state wins over -trace/-generate")
+	flag.StringVar(&o.fsync, "fsync", "always", "WAL durability point for POST /v1/jobs: always | interval | never")
+	flag.DurationVar(&o.fsyncInterval, "fsync-interval", wal.DefaultFsyncInterval, "background fsync period (with -fsync interval)")
+	flag.Int64Var(&o.segmentBytes, "segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation size in bytes")
+	flag.IntVar(&o.snapshotEvery, "snapshot-every", 50000, "snapshot+compact the WAL after this many logged records (0 = never)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -132,6 +145,47 @@ func run(o options) error {
 	}
 	log.Printf("jobs data storage ready: %d jobs", st.Len())
 
+	reg := telemetry.NewRegistry()
+
+	// Durable job store: replay snapshot + WAL from -data-dir before
+	// serving, then route every insert through the log. On the first
+	// boot the trace/synthetic store seeds the initial snapshot; on
+	// later boots the durable state is authoritative and the seed is
+	// ignored.
+	var durable *store.Durable
+	if o.dataDir != "" {
+		policy, err := wal.ParsePolicy(o.fsync)
+		if err != nil {
+			return fmt.Errorf("bad -fsync: %w", err)
+		}
+		walHist := reg.Histogram("mcbound_wal_append_seconds",
+			"WAL append latency per acknowledged batch (reserve to durability point).",
+			telemetry.ExponentialBuckets(1e-5, 4, 10), nil)
+		durable, err = store.OpenDurable(o.dataDir, st, store.DurableOptions{
+			SegmentBytes:   o.segmentBytes,
+			Policy:         policy,
+			Interval:       o.fsyncInterval,
+			SnapshotEvery:  o.snapshotEvery,
+			AppendObserver: walHist.Observe,
+		})
+		if err != nil {
+			return fmt.Errorf("open durable store %s: %w", o.dataDir, err)
+		}
+		defer func() {
+			if cerr := durable.Close(); cerr != nil {
+				log.Printf("warning: durable store close: %v", cerr)
+			}
+		}()
+		rec := durable.Recovery()
+		log.Printf("durable store %s: recovery %s (%d snapshot + %d log records, fsync=%s)",
+			o.dataDir, rec.Outcome(), rec.SnapshotRecords, rec.SegmentRecords, policy)
+		if rec.Failure != nil {
+			log.Printf("warning: serving the clean prefix only — a corrupt WAL segment was quarantined: %v", rec.Failure)
+		}
+		st = durable.Store()
+		log.Printf("durable jobs data storage ready: %d jobs", st.Len())
+	}
+
 	// Fetch chain: store → optional fault injection → retries + breaker.
 	// The framework and every workflow query the storage through it.
 	var backend fetch.Backend = fetch.StoreBackend{Store: st}
@@ -147,7 +201,6 @@ func run(o options) error {
 	rcfg.Breaker.FailureThreshold = o.breakerThreshold
 	rcfg.Breaker.Cooldown = o.breakerCooldown
 	resilient := fetch.NewResilientBackend(backend, rcfg)
-	reg := telemetry.NewRegistry()
 	resilient.Instrument(reg)
 
 	cfg := core.DefaultConfig()
@@ -212,6 +265,7 @@ func run(o options) error {
 		Breaker:         resilient.Breaker(),
 		Admission:       adm,
 		DefaultDeadline: o.defaultDeadline,
+		Durable:         durable,
 	})
 	api.ObserveTrain(rep, trainErr)
 

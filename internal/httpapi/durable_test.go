@@ -1,0 +1,131 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+// TestInsertThroughDurableStore runs the full durability loop over a
+// real directory: POST /v1/jobs acknowledges through the WAL, the
+// server "dies", and a fresh OpenDurable sees the acknowledged job.
+func TestInsertThroughDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	seed := seedStore(t)
+	d, err := store.OpenDurable(dir, seed, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newAPI(t, d.Store(), nil, true, Options{Durable: d}))
+
+	now := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	payload, _ := json.Marshal([]*job.Job{{
+		ID: "durable-1", User: "u0001", Name: "newapp",
+		CoresRequested: 48, NodesRequested: 1,
+		FreqRequested: job.FreqNormal,
+		SubmitTime:    now,
+	}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+
+	var health map[string]any
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	dur, ok := health["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no durability section: %v", health)
+	}
+	if dur["fsync_policy"] != "always" {
+		t.Fatalf("fsync_policy %v, want always", dur["fsync_policy"])
+	}
+	if dur["last_boot_recovery"] != "clean" {
+		t.Fatalf("last_boot_recovery %v", dur["last_boot_recovery"])
+	}
+	if dur["appends"].(float64) < 1 {
+		t.Fatalf("appends %v, want >= 1", dur["appends"])
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, metric := range []string{
+		"mcbound_wal_appends_total", "mcbound_wal_bytes_total", "mcbound_wal_fsyncs_total",
+		"mcbound_wal_segments", "mcbound_wal_recovered_records", "mcbound_wal_torn_tail_truncations",
+	} {
+		if !strings.Contains(string(mbody), metric) {
+			t.Errorf("metrics output missing %s", metric)
+		}
+	}
+
+	srv.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := store.OpenDurable(dir, nil, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := d2.Store().Get("durable-1"); err != nil {
+		t.Fatalf("acknowledged insert lost across restart: %v", err)
+	}
+	if n := d2.Store().Len(); n != seed.Len()+1 {
+		t.Fatalf("recovered %d jobs, want %d", n, seed.Len()+1)
+	}
+}
+
+// TestInsertDurableFailureIsNoAck pins the failure contract: when the
+// log cannot persist the batch, the client gets an error status and the
+// in-memory store must not contain the jobs.
+func TestInsertDurableFailureIsNoAck(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.OpenDurable(dir, nil, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newAPI(t, d.Store(), nil, false, Options{Durable: d}))
+	defer srv.Close()
+	// Closing the WAL makes every append fail with wal.ErrClosed.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	payload, _ := json.Marshal([]*job.Job{{
+		ID: "lost-1", User: "u0001", Name: "app",
+		CoresRequested: 1, NodesRequested: 1,
+		FreqRequested: job.FreqNormal,
+		SubmitTime:    time.Now().UTC(),
+	}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("insert acknowledged although the log is closed")
+	}
+	if _, err := d.Store().Get("lost-1"); err == nil {
+		t.Fatal("unacknowledged job reached the in-memory store")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mcbound/internal/core"
+	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
 )
 
@@ -82,6 +83,31 @@ func newAppMetrics(reg *telemetry.Registry, storeLen func() int, fw *core.Framew
 		insertedJobs: reg.Counter("mcbound_jobs_inserted_total",
 			"Job records accepted by POST /v1/jobs.", nil),
 	}
+}
+
+// registerWALMetrics exposes the durable store's log counters. The
+// append-latency histogram is not here: it is created by the caller who
+// owns the registry and wired in via DurableOptions.AppendObserver, so
+// it observes every append from the moment the WAL opens.
+func registerWALMetrics(reg *telemetry.Registry, d *store.Durable) {
+	reg.CounterFunc("mcbound_wal_appends_total",
+		"Records acknowledged through the write-ahead log.", nil,
+		func() int64 { return d.Stats().Appends })
+	reg.CounterFunc("mcbound_wal_bytes_total",
+		"Framed bytes written to WAL segments.", nil,
+		func() int64 { return d.Stats().AppendedBytes })
+	reg.CounterFunc("mcbound_wal_fsyncs_total",
+		"fsync calls issued on WAL segment files.", nil,
+		func() int64 { return d.Stats().Fsyncs })
+	reg.GaugeFunc("mcbound_wal_segments",
+		"Live WAL segment files including the active one.", nil,
+		func() float64 { return float64(d.Stats().Segments) })
+	reg.GaugeFunc("mcbound_wal_recovered_records",
+		"Records replayed (snapshot + segments) by the last boot.", nil,
+		func() float64 { return float64(d.Stats().RecoveredRecords) })
+	reg.GaugeFunc("mcbound_wal_torn_tail_truncations",
+		"Torn log tails truncated by the last boot's recovery.", nil,
+		func() float64 { return float64(d.Stats().TornTailTruncations) })
 }
 
 // observeTrain records one Training Workflow trigger. rep may be nil on

@@ -79,6 +79,13 @@ type Options struct {
 	// selects DefaultMaxDeadline.
 	DefaultDeadline time.Duration
 	MaxDeadline     time.Duration
+
+	// Durable, when set, is the write-ahead-logged store behind the
+	// insert endpoint: POST /v1/jobs acknowledges only after the batch
+	// reached the configured fsync policy's durability point, /healthz
+	// grows a "durability" section and the mcbound_wal_* collectors are
+	// registered. Its Store() must be the same store passed to New.
+	Durable *store.Durable
 }
 
 // Server wires a Framework and its job store into an http.Handler.
@@ -95,6 +102,7 @@ type Server struct {
 	adm             *admission.Controller
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
+	durable         *store.Durable
 }
 
 // New builds a Server. The store must be the same one backing the
@@ -133,8 +141,12 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 		adm:             opts.Admission,
 		defaultDeadline: opts.DefaultDeadline,
 		maxDeadline:     opts.MaxDeadline,
+		durable:         opts.Durable,
 	}
 	registerAdmissionMetrics(s.reg, s.adm)
+	if s.durable != nil {
+		registerWALMetrics(s.reg, s.durable)
+	}
 	// Route priorities: the inference hot path is Interactive, bulk
 	// range/batch endpoints are Batch, retraining is Background (capped
 	// so a hot-swap never starves inference), and the health probe is
@@ -239,6 +251,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.breaker != nil {
 		body["breaker"] = s.breaker.State().String()
 	}
+	if s.durable != nil {
+		body["durability"] = s.durable.Health()
+	}
 	s.writeJSON(w, httpStatus, body)
 }
 
@@ -312,8 +327,17 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := s.store.Insert(jobs...); err != nil {
-		s.writeError(w, err)
+	// With a durable store the insert is acknowledged only after the
+	// batch reached the fsync policy's durability point; a WAL failure
+	// means no 200 (and no in-memory application) — the client retries.
+	var insertErr error
+	if s.durable != nil {
+		insertErr = s.durable.Insert(jobs...)
+	} else {
+		insertErr = s.store.Insert(jobs...)
+	}
+	if insertErr != nil {
+		s.writeError(w, insertErr)
 		return
 	}
 	s.metrics.insertedJobs.Add(int64(len(jobs)))

@@ -14,7 +14,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
+
+	"mcbound/internal/wal"
 )
 
 // Model is what a saved object must implement: the binary round-trip
@@ -61,12 +62,10 @@ func (r *Registry) Save(name string, m encoding.BinaryMarshaler) (int, error) {
 		next = versions[len(versions)-1] + 1
 	}
 	final := r.path(name, next)
-	tmp := final + fmt.Sprintf(".tmp-%d", time.Now().UnixNano())
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return 0, fmt.Errorf("persist: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	// Crash-safe publish: temp file, fsync, rename, directory fsync —
+	// so a model version either exists completely or not at all, and
+	// the rename survives power loss.
+	if err := wal.WriteFileAtomic(wal.OS, final, data); err != nil {
 		return 0, fmt.Errorf("persist: %w", err)
 	}
 	return next, nil

@@ -1,0 +1,170 @@
+package store
+
+// Store-level crash-consistency tests (part of make crash): the WAL
+// suite proves the log's contract; these prove the Durable wrapper
+// preserves it end to end — an acknowledged Insert survives a kill at
+// any byte offset.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mcbound/internal/stats"
+	"mcbound/internal/wal"
+	"mcbound/internal/wal/crashfs"
+)
+
+// TestCrashDurableAckedInsertsSurvive sweeps seeded kill points under
+// fsync=always: every Insert that returned nil must be present after
+// crash recovery, and nothing unacknowledged may half-appear beyond the
+// jobs the log had already made durable.
+func TestCrashDurableAckedInsertsSurvive(t *testing.T) {
+	const seeds = 30
+	for seed := uint64(1); seed <= seeds; seed++ {
+		rng := stats.NewRNG(seed * 6151)
+		fs := crashfs.New(seed + 500)
+		d, err := OpenDurable("data", nil, DurableOptions{
+			FS: fs, Policy: wal.FsyncAlways, SegmentBytes: 4096,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.KillAfterBytes(int64(rng.Intn(100 * 210)))
+		var acked []string
+		for i := 0; i < 100; i++ {
+			j := durJob(i)
+			if err := d.Insert(j); err != nil {
+				break
+			}
+			acked = append(acked, j.ID)
+		}
+		if !fs.Killed() {
+			d.Close()
+		}
+		fs.Crash()
+
+		d2, err := OpenDurable("data", nil, DurableOptions{FS: fs, Policy: wal.FsyncAlways})
+		if err != nil {
+			t.Fatalf("seed %d: reopen: %v", seed, err)
+		}
+		if rec := d2.Recovery(); rec.Failure != nil {
+			t.Fatalf("seed %d: recovery failure %v", seed, rec.Failure)
+		}
+		got := d2.Store().Len()
+		if got != len(acked) {
+			t.Fatalf("seed %d: recovered %d jobs, acked %d", seed, got, len(acked))
+		}
+		for _, id := range acked {
+			if _, err := d2.Store().Get(id); err != nil {
+				t.Fatalf("seed %d: acked job %s lost: %v", seed, id, err)
+			}
+		}
+		d2.Close()
+	}
+}
+
+// TestCrashDurableConcurrentInserts kills the process while several
+// goroutines insert through the group-commit path; recovery must hold a
+// superset of the acknowledged jobs and every recovered job must be one
+// that an inserter actually submitted.
+func TestCrashDurableConcurrentInserts(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		fs := crashfs.New(seed + 900)
+		d, err := OpenDurable("data", nil, DurableOptions{
+			FS: fs, Policy: wal.FsyncAlways, SegmentBytes: 4096,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(seed * 31)
+		fs.KillAfterBytes(int64(rng.Intn(160 * 220)))
+
+		const writers, perWriter = 4, 40
+		ackedCh := make(chan string, writers*perWriter)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					j := durJob(w*1000 + i)
+					j.ID = fmt.Sprintf("w%d-%05d", w, i)
+					if err := d.Insert(j); err != nil {
+						return
+					}
+					ackedCh <- j.ID
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(ackedCh)
+		acked := make(map[string]bool)
+		for id := range ackedCh {
+			acked[id] = true
+		}
+		if !fs.Killed() {
+			d.Close()
+		}
+		fs.Crash()
+
+		d2, err := OpenDurable("data", nil, DurableOptions{FS: fs, Policy: wal.FsyncAlways})
+		if err != nil {
+			t.Fatalf("seed %d: reopen: %v", seed, err)
+		}
+		if rec := d2.Recovery(); rec.Failure != nil {
+			t.Fatalf("seed %d: recovery failure %v", seed, rec.Failure)
+		}
+		for id := range acked {
+			if _, err := d2.Store().Get(id); err != nil {
+				t.Fatalf("seed %d: acked job %s lost", seed, id)
+			}
+		}
+		for _, j := range d2.Store().All() {
+			// A recovered job that nobody acked is legal only if its
+			// insert died between fsync and the ack; it must at least be
+			// a well-formed submission from one of the writers.
+			var w, i int
+			if _, err := fmt.Sscanf(j.ID, "w%d-%d", &w, &i); err != nil || w >= writers || i >= perWriter {
+				t.Fatalf("seed %d: recovered alien job %q", seed, j.ID)
+			}
+		}
+		d2.Close()
+	}
+}
+
+// TestCrashDurableKillDuringSnapshot arms the kill inside the
+// snapshot+compaction path: whatever survives, recovery must still see
+// every acknowledged job (from the old snapshot/segments or the new).
+func TestCrashDurableKillDuringSnapshot(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		fs := crashfs.New(seed + 1300)
+		d, err := OpenDurable("data", nil, DurableOptions{
+			FS: fs, Policy: wal.FsyncAlways, SegmentBytes: 2048,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := d.Insert(durJob(i)); err != nil {
+				t.Fatalf("seed %d: setup insert: %v", seed, err)
+			}
+		}
+		rng := stats.NewRNG(seed * 17)
+		fs.KillAfterBytes(int64(rng.Intn(50 * 200)))
+		_ = d.Snapshot() // may die anywhere inside
+		fs.Crash()
+
+		d2, err := OpenDurable("data", nil, DurableOptions{FS: fs, Policy: wal.FsyncAlways})
+		if err != nil {
+			t.Fatalf("seed %d: reopen: %v", seed, err)
+		}
+		if rec := d2.Recovery(); rec.Failure != nil {
+			t.Fatalf("seed %d: recovery failure %v", seed, rec.Failure)
+		}
+		if n := d2.Store().Len(); n != 50 {
+			t.Fatalf("seed %d: recovered %d jobs, want all 50 acked", seed, n)
+		}
+		d2.Close()
+	}
+}

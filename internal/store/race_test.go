@@ -1,0 +1,108 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mcbound/internal/job"
+)
+
+// TestExecutedBetweenRaceWithInsert hammers the completion index from
+// both sides: writers keep inserting completed jobs (invalidating the
+// sorted snapshot) while readers binary-search it. Before the immutable
+// snapshot rewrite, ensureSorted re-sorted the same backing array a
+// reader was searching, which -race flags and which could return jobs
+// out of range. Run with -race.
+func TestExecutedBetweenRaceWithInsert(t *testing.T) {
+	s := New()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				end := base.Add(time.Duration(i%500) * time.Minute)
+				j := &job.Job{
+					ID:         fmt.Sprintf("w%d-%d", w, i),
+					SubmitTime: end.Add(-time.Hour),
+					StartTime:  end.Add(-30 * time.Minute),
+					EndTime:    end,
+				}
+				if err := s.Insert(j); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	lo, hi := base.Add(100*time.Minute), base.Add(400*time.Minute)
+	for time.Now().Before(deadline) {
+		for _, got := range s.ExecutedBetween(lo, hi) {
+			if got.EndTime.Before(lo) || !got.EndTime.Before(hi) {
+				t.Fatalf("job %s outside [%v,%v): %v", got.ID, lo, hi, got.EndTime)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestInsertCopiesRecord pins the clone-on-insert contract: mutating the
+// caller's Job after Insert must not reach the store.
+func TestInsertCopiesRecord(t *testing.T) {
+	s := New()
+	j := &job.Job{ID: "a", SubmitTime: time.Now()}
+	if err := s.Insert(j); err != nil {
+		t.Fatal(err)
+	}
+	j.ID = "mutated"
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "a" {
+		t.Fatalf("stored job mutated through caller pointer: %q", got.ID)
+	}
+}
+
+// TestReinsertOrderStable checks that replacing an already-completed job
+// keeps the completion index consistent (the old record must not linger
+// next to the new one).
+func TestReinsertOrderStable(t *testing.T) {
+	s := New()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		end := base.Add(time.Duration(i) * time.Hour)
+		if err := s.Insert(&job.Job{ID: fmt.Sprintf("j%d", i), EndTime: end}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move j3's completion to the end of the range.
+	if err := s.Insert(&job.Job{ID: "j3", EndTime: base.Add(20 * time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.ExecutedBetween(base, base.Add(48*time.Hour))
+	if len(got) != 10 {
+		t.Fatalf("index has %d entries, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].EndTime.Before(got[i-1].EndTime) {
+			t.Fatalf("index out of order at %d", i)
+		}
+	}
+	if got[len(got)-1].ID != "j3" {
+		t.Fatalf("last entry %s, want the re-inserted j3", got[len(got)-1].ID)
+	}
+}

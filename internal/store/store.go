@@ -18,21 +18,33 @@ import (
 	"time"
 
 	"mcbound/internal/job"
+	"mcbound/internal/wal"
 )
+
+// ErrNotFound is the sentinel wrapped by lookups for absent job IDs;
+// callers branch with errors.Is (the HTTP layer maps it to 404).
+var ErrNotFound = errors.New("job not found")
 
 // Store is an in-memory, mutex-guarded job repository. Jobs are indexed
 // by ID and kept ordered by EndTime for range scans (the Training
 // Workflow queries by completion interval, matching the paper's
 // fetch(start_time, end_time)).
-// ErrNotFound is the sentinel wrapped by lookups for absent job IDs;
-// callers branch with errors.Is (the HTTP layer maps it to 404).
-var ErrNotFound = errors.New("job not found")
-
+//
+// Insert copies the record, so callers may reuse or mutate their Job
+// after the call. Reads return the store's own pointers: mutating a
+// fetched job (as the labeling path does with TrueLabel) is visible to
+// later readers of the same record, but a later Insert of the same ID
+// replaces the stored pointer rather than updating it in place.
 type Store struct {
-	mu     sync.RWMutex
-	byID   map[string]*job.Job
-	byEnd  []*job.Job // completed jobs sorted by EndTime
-	sorted bool
+	mu   sync.RWMutex
+	byID map[string]*job.Job
+	// byEnd is an immutable snapshot of the completed jobs sorted by
+	// EndTime, rebuilt on demand. Writers that change the completion set
+	// invalidate it by setting it nil; readers either grab the current
+	// snapshot (never mutated after publication) or rebuild under the
+	// write lock. This keeps range scans off the write path without the
+	// sort-under-reader race of an in-place index.
+	byEnd []*job.Job
 }
 
 // New returns an empty Store.
@@ -40,9 +52,9 @@ func New() *Store {
 	return &Store{byID: make(map[string]*job.Job)}
 }
 
-// Insert adds jobs to the store. Inserting a job whose ID already exists
-// replaces the previous record (job records are updated when execution
-// completes and counters arrive).
+// Insert adds copies of the given jobs to the store. Inserting a job
+// whose ID already exists replaces the previous record (job records are
+// updated when execution completes and counters arrive).
 func (s *Store) Insert(jobs ...*job.Job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -50,19 +62,13 @@ func (s *Store) Insert(jobs ...*job.Job) error {
 		if j.ID == "" {
 			return fmt.Errorf("store: job with empty id")
 		}
-		if old, ok := s.byID[j.ID]; ok {
-			wasCompleted := !old.EndTime.IsZero()
-			*old = *j // update in place so the byEnd index stays valid
-			if !old.EndTime.IsZero() && !wasCompleted {
-				s.byEnd = append(s.byEnd, old)
-			}
-			s.sorted = false
-			continue
-		}
-		s.byID[j.ID] = j
-		if !j.EndTime.IsZero() {
-			s.byEnd = append(s.byEnd, j)
-			s.sorted = false
+		cp := *j
+		old, existed := s.byID[cp.ID]
+		s.byID[cp.ID] = &cp
+		// The snapshot stays valid unless the completion set changed:
+		// a completed record arrived, or a completed one was replaced.
+		if !cp.EndTime.IsZero() || (existed && !old.EndTime.IsZero()) {
+			s.byEnd = nil
 		}
 	}
 	return nil
@@ -86,27 +92,42 @@ func (s *Store) Get(id string) (*job.Job, error) {
 	return j, nil
 }
 
-// ensureSorted re-sorts the completion index if needed. Callers must hold
-// the write lock or upgrade; we take the write lock internally.
-func (s *Store) ensureSorted() {
-	if s.sorted {
-		return
+// executedIndex returns the current completion snapshot, rebuilding it
+// under the write lock when an insert has invalidated it. The returned
+// slice is never mutated afterwards, so callers may search it unlocked.
+func (s *Store) executedIndex() []*job.Job {
+	s.mu.RLock()
+	idx := s.byEnd
+	s.mu.RUnlock()
+	if idx != nil {
+		return idx
 	}
-	sort.Slice(s.byEnd, func(i, k int) bool {
-		return s.byEnd[i].EndTime.Before(s.byEnd[k].EndTime)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byEnd != nil { // another writer rebuilt it first
+		return s.byEnd
+	}
+	idx = make([]*job.Job, 0, len(s.byID))
+	for _, j := range s.byID {
+		if !j.EndTime.IsZero() {
+			idx = append(idx, j)
+		}
+	}
+	sort.Slice(idx, func(i, k int) bool {
+		if idx[i].EndTime.Equal(idx[k].EndTime) {
+			return idx[i].ID < idx[k].ID
+		}
+		return idx[i].EndTime.Before(idx[k].EndTime)
 	})
-	s.sorted = true
+	s.byEnd = idx
+	return idx
 }
 
 // ExecutedBetween returns all jobs whose EndTime lies in [start, end),
 // ordered by completion time. This is the query the Training Workflow
 // issues for its α-day window.
 func (s *Store) ExecutedBetween(start, end time.Time) []*job.Job {
-	s.mu.Lock()
-	s.ensureSorted()
-	idx := s.byEnd
-	s.mu.Unlock()
-
+	idx := s.executedIndex()
 	lo := sort.Search(len(idx), func(i int) bool { return !idx[i].EndTime.Before(start) })
 	hi := sort.Search(len(idx), func(i int) bool { return !idx[i].EndTime.Before(end) })
 	out := make([]*job.Job, hi-lo)
@@ -187,17 +208,12 @@ func ReadJSONL(r io.Reader) (*Store, error) {
 	return s, nil
 }
 
-// SaveFile persists the store to path as JSONL.
+// SaveFile persists the store to path as JSONL. The write is
+// crash-safe: the data lands in a temp file that is fsynced, renamed
+// over path, and sealed with a directory fsync, so a crash leaves
+// either the old file or the new one — never a torn mix.
 func (s *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	if err := s.WriteJSONL(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return wal.WriteStreamAtomic(wal.OS, path, s.WriteJSONL)
 }
 
 // LoadFile reads a JSONL store from path.
