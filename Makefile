@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt fuzz chaos stress crash check bench bench-all
+.PHONY: all build test race vet fmt fuzz chaos stress crash replay-e2e check bench bench-all
 
 all: check
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzReadJSONL$$ -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run=^$$ -fuzz=^FuzzTimeoutHeader$$ -fuzztime=$(FUZZTIME) ./internal/admission
 	$(GO) test -run=^$$ -fuzz=^FuzzWALFrame$$ -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run=^$$ -fuzz=^FuzzCursor$$ -fuzztime=$(FUZZTIME) ./internal/httpapi
 
 # Overload stress: drives the admission controller and the full HTTP
 # serving path through a 10x concurrency burst under the race detector
@@ -52,7 +53,15 @@ stress:
 crash:
 	$(GO) test -race -count=1 -run 'Crash' ./internal/wal ./internal/store
 
-check: build vet fmt race chaos stress crash fuzz
+# Golden replay equivalence: a ×100 replay through the live HTTP path
+# (NDJSON ingest, classify, train) must reproduce the offline
+# simulator's timeline — model versions and per-day F1 to 3 decimals —
+# and a paused replay must resume without duplicating or dropping
+# records.
+replay-e2e:
+	$(GO) test -race -count=1 -run 'ReplayE2E' ./internal/replay
+
+check: build vet fmt race chaos stress crash fuzz replay-e2e
 
 # Serving-path perf trajectory: single classify hot/cold in the
 # embedding cache, 1000-job batch serial vs. all cores, full train.

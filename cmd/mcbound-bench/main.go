@@ -1,9 +1,10 @@
 // Command mcbound-bench measures the serving-path costs of the deployed
 // framework — single classify hot and cold in the embedding cache,
-// 1000-job batch classify serial vs. across every core, and a full
-// Training Workflow pass — and writes them as JSON (BENCH_serving.json
-// by default) so successive commits have a perf trajectory to compare
-// number to number.
+// 1000-job batch classify serial vs. across every core, a full
+// Training Workflow pass, and the streaming surface (live replay,
+// NDJSON ingest, SSE fan-out) — and writes them as JSON
+// (BENCH_serving.json by default) so successive commits have a perf
+// trajectory to compare number to number.
 //
 // Usage:
 //
@@ -20,12 +21,19 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -34,7 +42,9 @@ import (
 	"mcbound/internal/core"
 	"mcbound/internal/encode"
 	"mcbound/internal/fetch"
+	"mcbound/internal/httpapi"
 	"mcbound/internal/job"
+	"mcbound/internal/replay"
 	"mcbound/internal/store"
 	"mcbound/internal/wal"
 	"mcbound/internal/wal/crashfs"
@@ -76,6 +86,17 @@ type report struct {
 	WALAppendNeverNs    int64 `json:"wal_append_never_ns"`
 	WALKillAcked        int64 `json:"wal_kill_acked_records"`
 	WALKillRecovered    int64 `json:"wal_kill_recovered_records"`
+
+	// Streaming surface: an instant-clock replay window driven end to
+	// end through the v1 API (the run aborts with exit 1 unless it
+	// completes), sustained NDJSON ingest cost per acknowledged record
+	// over the live HTTP path, and SSE prediction fan-out cost per
+	// delivered event across concurrent subscribers.
+	ReplayRecords           int64 `json:"replay_records"`
+	ReplayWallNs            int64 `json:"replay_wall_ns"`
+	StreamIngestNsPerRecord int64 `json:"stream_ingest_ns_per_record"`
+	SSEFanoutSubscribers    int   `json:"sse_fanout_subscribers"`
+	SSEFanoutNsPerEvent     int64 `json:"sse_fanout_ns_per_event"`
 }
 
 func main() {
@@ -183,6 +204,11 @@ func run(out string) error {
 		return err
 	}
 
+	fmt.Println("benchmarking streaming surface (replay, NDJSON ingest, SSE fan-out)...")
+	if err := benchStream(&rep); err != nil {
+		return err
+	}
+
 	if rep.ClassifySingleHotNs > 0 {
 		rep.CacheSpeedup = float64(rep.ClassifySingleColdNs) / float64(rep.ClassifySingleHotNs)
 	}
@@ -207,6 +233,164 @@ func run(out string) error {
 	fmt.Printf("wal: append always=%dns interval=%dns never=%dns; kill recovery %d/%d acked records (exact)\n",
 		rep.WALAppendAlwaysNs, rep.WALAppendIntervalNs, rep.WALAppendNeverNs,
 		rep.WALKillRecovered, rep.WALKillAcked)
+	fmt.Printf("stream: replay %d records in %dms; ingest %dns/record; sse fan-out %dns/event over %d subscribers\n",
+		rep.ReplayRecords, rep.ReplayWallNs/1e6, rep.StreamIngestNsPerRecord,
+		rep.SSEFanoutNsPerEvent, rep.SSEFanoutSubscribers)
+	return nil
+}
+
+// benchStream measures the streaming surface over real HTTP: an
+// instant-clock replay of one trace week through the live API (which
+// also trains the model the SSE stage classifies with), sustained
+// NDJSON ingest on POST /v1/jobs/stream, and SSE fan-out on
+// GET /v1/predictions/stream with several concurrent subscribers.
+func benchStream(rep *report) error {
+	source, err := servingStore()
+	if err != nil {
+		return err
+	}
+	serverStore := store.New()
+	cfg := core.DefaultConfig()
+	fw, err := core.New(cfg, fetch.StoreBackend{Store: serverStore})
+	if err != nil {
+		return err
+	}
+	char := fw.Characterizer()
+	mgr := replay.NewManager(replay.Options{
+		Source: source,
+		Clock:  replay.InstantClock{},
+		Beta:   cfg.Beta,
+		Truth: func(j *job.Job) (job.Label, bool) {
+			pt, cerr := char.Characterize(j)
+			if cerr != nil {
+				return job.Unknown, false
+			}
+			return pt.Label, true
+		},
+	})
+	api := httpapi.New(fw, serverStore, log.New(io.Discard, "", 0), httpapi.Options{Replay: mgr})
+	mgr.SetTarget(api)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	// Replay one week of the serving trace end to end — warm-up inserts,
+	// initial train, per-window classify/pace/insert/retrain — through
+	// the same middleware production clients hit.
+	t0 := time.Now()
+	if _, err := mgr.Start(replay.Config{
+		Start: time.Date(2024, 1, 8, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2024, 1, 15, 0, 0, 0, 0, time.UTC),
+		Speed: 100,
+	}); err != nil {
+		return fmt.Errorf("replay start: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := mgr.Wait(ctx); err != nil {
+		return fmt.Errorf("replay wait: %w", err)
+	}
+	status := mgr.Status()
+	if status.State != replay.StateDone {
+		return fmt.Errorf("replay finished %s: %s", status.State, status.Error)
+	}
+	rep.ReplayWallNs = time.Since(t0).Nanoseconds()
+	rep.ReplayRecords = int64(status.Records)
+
+	// Sustained NDJSON ingest: one long-lived request per iteration,
+	// fresh IDs so every record is an acknowledged insert.
+	const chunk = 2000
+	submit := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	var seq int
+	perChunk := nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			for k := 0; k < chunk; k++ {
+				s := submit.Add(time.Duration(seq) * time.Second)
+				if err := enc.Encode(&job.Job{
+					ID: fmt.Sprintf("ing%08d", seq), User: "u0009", Name: "ingest_app",
+					Environment: "gcc/12.2", CoresRequested: 48, NodesRequested: 1,
+					NodesAllocated: 1, FreqRequested: job.FreqNormal,
+					SubmitTime: s, StartTime: s.Add(time.Minute), EndTime: s.Add(time.Hour),
+				}); err != nil {
+					b.Fatal(err)
+				}
+				seq++
+			}
+			resp, err := http.Post(srv.URL+"/v1/jobs/stream", "application/x-ndjson", &buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"frame":"done"`)) {
+				b.Fatalf("stream ingest status %d: %s", resp.StatusCode, body)
+			}
+		}
+	})
+	rep.StreamIngestNsPerRecord = perChunk / chunk
+
+	// SSE fan-out: a fresh server (empty resume ring) so subscriber
+	// counts start at zero; classify one batch and time until every
+	// subscriber has read every prediction event.
+	api2 := httpapi.New(fw, serverStore, log.New(io.Discard, "", 0), httpapi.Options{})
+	srv2 := httptest.NewServer(api2)
+	defer srv2.Close()
+	const (
+		subs   = 4
+		events = 400
+	)
+	rep.SSEFanoutSubscribers = subs
+	// Failsafe: a wedged stream would hang the bench; cut connections.
+	guard := time.AfterFunc(60*time.Second, srv2.CloseClientConnections)
+	defer guard.Stop()
+	var connected sync.WaitGroup
+	connected.Add(subs)
+	errCh := make(chan error, subs)
+	for s := 0; s < subs; s++ {
+		go func() {
+			resp, err := http.Get(srv2.URL + "/v1/predictions/stream")
+			if err != nil {
+				connected.Done()
+				errCh <- err
+				return
+			}
+			defer resp.Body.Close()
+			connected.Done()
+			sc := bufio.NewScanner(resp.Body)
+			n := 0
+			for sc.Scan() {
+				if strings.HasPrefix(sc.Text(), "event: prediction") {
+					if n++; n == events {
+						errCh <- nil
+						return
+					}
+				}
+			}
+			errCh <- fmt.Errorf("sse stream ended after %d/%d events", n, events)
+		}()
+	}
+	connected.Wait()
+	t0 = time.Now()
+	body, err := json.Marshal(benchBatch(events))
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(srv2.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("sse trigger classify: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sse trigger classify: status %d", resp.StatusCode)
+	}
+	for s := 0; s < subs; s++ {
+		if err := <-errCh; err != nil {
+			return fmt.Errorf("sse subscriber: %w", err)
+		}
+	}
+	rep.SSEFanoutNsPerEvent = time.Since(t0).Nanoseconds() / (subs * events)
 	return nil
 }
 

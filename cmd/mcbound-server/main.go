@@ -33,6 +33,8 @@ import (
 	"mcbound/internal/fetch"
 	"mcbound/internal/fetch/chaos"
 	"mcbound/internal/httpapi"
+	"mcbound/internal/job"
+	"mcbound/internal/replay"
 	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
 	"mcbound/internal/wal"
@@ -77,6 +79,12 @@ type options struct {
 	fsyncInterval time.Duration
 	segmentBytes  int64
 	snapshotEvery int
+
+	// Streaming surface + server-side replay resource.
+	streamBatch  int
+	sseBuffer    int
+	sseHeartbeat time.Duration
+	replaySource string
 }
 
 func main() {
@@ -111,6 +119,10 @@ func main() {
 	flag.DurationVar(&o.fsyncInterval, "fsync-interval", wal.DefaultFsyncInterval, "background fsync period (with -fsync interval)")
 	flag.Int64Var(&o.segmentBytes, "segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation size in bytes")
 	flag.IntVar(&o.snapshotEvery, "snapshot-every", 50000, "snapshot+compact the WAL after this many logged records (0 = never)")
+	flag.IntVar(&o.streamBatch, "stream-batch", httpapi.DefaultStreamBatch, "NDJSON ingest records grouped per commit/ack frame on POST /v1/jobs/stream")
+	flag.IntVar(&o.sseBuffer, "sse-buffer", httpapi.DefaultSSEBuffer, "prediction stream resume-ring and per-subscriber channel capacity")
+	flag.DurationVar(&o.sseHeartbeat, "sse-heartbeat", httpapi.DefaultSSEHeartbeat, "idle keep-alive period on GET /v1/predictions/stream")
+	flag.StringVar(&o.replaySource, "replay-source", "", "JSONL trace file backing the /v1/replay resource (empty = replay disabled)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -258,6 +270,33 @@ func run(o options) error {
 		QueueDepth:     o.queueDepth,
 		RateLimit:      o.rateLimit,
 	})
+
+	// Server-side replay resource: a historical trace the operator can
+	// drive through this server's own HTTP path at ×N speed via
+	// POST /v1/replay. Ground truth for the per-window F1 comes from the
+	// framework's roofline characterizer — the same oracle the offline
+	// simulator scores against.
+	var replayMgr *replay.Manager
+	if o.replaySource != "" {
+		src, err := store.LoadFile(o.replaySource)
+		if err != nil {
+			return fmt.Errorf("load -replay-source %s: %w", o.replaySource, err)
+		}
+		char := fw.Characterizer()
+		replayMgr = replay.NewManager(replay.Options{
+			Source: src,
+			Truth: func(j *job.Job) (job.Label, bool) {
+				pt, cerr := char.Characterize(j)
+				if cerr != nil {
+					return job.Unknown, false
+				}
+				return pt.Label, true
+			},
+			Log: log.Default(),
+		})
+		log.Printf("replay resource armed: %d trace records from %s", src.Len(), o.replaySource)
+	}
+
 	api := httpapi.New(fw, st, log.Default(), httpapi.Options{
 		MaxBodyBytes:    o.maxBody,
 		EnablePprof:     o.pprof,
@@ -266,7 +305,14 @@ func run(o options) error {
 		Admission:       adm,
 		DefaultDeadline: o.defaultDeadline,
 		Durable:         durable,
+		Replay:          replayMgr,
+		StreamBatchSize: o.streamBatch,
+		SSEBufferSize:   o.sseBuffer,
+		SSEHeartbeat:    o.sseHeartbeat,
 	})
+	if replayMgr != nil {
+		replayMgr.SetTarget(api)
+	}
 	api.ObserveTrain(rep, trainErr)
 
 	// Cron-equivalent retraining ticker: retrain on the newest completed

@@ -293,6 +293,23 @@ type Ticket struct {
 	pri      Priority
 	granted  time.Time
 	released atomic.Bool
+
+	// streaming tickets (AdmitStream) hold their slot for a connection
+	// lifetime: their total duration says nothing about per-request
+	// service time, so Release must not feed it into the limiter —
+	// the handler reports per-chunk latencies via ObserveChunk instead.
+	streaming bool
+}
+
+// ObserveChunk feeds one chunk's service time into the adaptive
+// limiter. Streaming handlers call it once per processed unit (an
+// ingest batch, an SSE write burst) so the p95 estimate tracks the
+// work short requests actually compete with, not connection lifetimes.
+func (t *Ticket) ObserveChunk(d time.Duration) {
+	if t == nil || t.pri == Critical || t.released.Load() {
+		return
+	}
+	t.c.lim.Observe(d)
 }
 
 // Release returns the slot and records the observed service time.
@@ -304,7 +321,9 @@ func (t *Ticket) Release() {
 		return // never held a slot
 	}
 	c := t.c
-	c.lim.Observe(c.clock().Sub(t.granted))
+	if !t.streaming {
+		c.lim.Observe(c.clock().Sub(t.granted))
+	}
 	c.mu.Lock()
 	c.inflight--
 	if t.pri == Background {
@@ -332,11 +351,28 @@ func backgroundCap(limit int) int {
 // wait, and the request's context deadline drives doomed-request
 // shedding. On success the returned Ticket must be Released.
 func (c *Controller) Admit(ctx context.Context, pri Priority, clientID string) (*Ticket, error) {
+	return c.admit(ctx, pri, clientID, false)
+}
+
+// AdmitStream admits a long-lived stream (NDJSON ingest, SSE, replay
+// feeds). The stream holds a slot like any request — capacity stays
+// bounded — but the short-request assumptions are re-scoped:
+// doomed-request shedding is skipped (a connection deadline, if any,
+// bounds the whole stream, not one service unit, so comparing it to
+// p95 would shed every stream the moment the estimator warms), and
+// Release does not report the connection lifetime as a service time.
+// Per-chunk latencies go through Ticket.ObserveChunk instead. Rate
+// limiting and queue accounting apply unchanged.
+func (c *Controller) AdmitStream(ctx context.Context, pri Priority, clientID string) (*Ticket, error) {
+	return c.admit(ctx, pri, clientID, true)
+}
+
+func (c *Controller) admit(ctx context.Context, pri Priority, clientID string, streaming bool) (*Ticket, error) {
 	if pri == Critical {
 		// Health probes and other must-answer traffic: no slot, no
 		// queue, no shedding — only accounting.
 		c.bypassed.Add(1)
-		return &Ticket{c: c, pri: pri, granted: c.clock()}, nil
+		return &Ticket{c: c, pri: pri, granted: c.clock(), streaming: streaming}, nil
 	}
 	c.offered.Add(1)
 
@@ -349,6 +385,11 @@ func (c *Controller) Admit(ctx context.Context, pri Priority, clientID string) (
 
 	now := c.clock()
 	deadline, hasDeadline := ctx.Deadline()
+	if streaming {
+		// A stream's deadline bounds the connection, not a service
+		// unit; it must not feed doomed shedding here or at grant.
+		hasDeadline = false
+	}
 	p95 := c.lim.P95()
 
 	// Doomed pre-check: a request whose remaining deadline cannot cover
@@ -369,7 +410,7 @@ func (c *Controller) Admit(ctx context.Context, pri Priority, clientID string) (
 		c.takeSlotLocked(pri)
 		c.mu.Unlock()
 		c.admitted.Add(1)
-		return &Ticket{c: c, pri: pri, granted: now}, nil
+		return &Ticket{c: c, pri: pri, granted: now, streaming: streaming}, nil
 	}
 
 	// Bounded queue: on overflow the newest waiter of the lowest tier
@@ -415,7 +456,7 @@ func (c *Controller) Admit(ctx context.Context, pri Priority, clientID string) (
 			c.cfg.OnQueueWait(w.grantedAt.Sub(w.enqueued).Seconds())
 		}
 		c.admitted.Add(1)
-		return &Ticket{c: c, pri: pri, granted: w.grantedAt}, nil
+		return &Ticket{c: c, pri: pri, granted: w.grantedAt, streaming: streaming}, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		removed := c.queue.remove(w)

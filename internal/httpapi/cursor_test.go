@@ -1,0 +1,272 @@
+package httpapi
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcbound/internal/job"
+	"mcbound/internal/store"
+)
+
+// TestCursorRoundTrip: every mintable position survives the codec
+// bit-exact (property test over random times and IDs).
+func TestCursorRoundTrip(t *testing.T) {
+	prop := func(nanos int64, id string) bool {
+		if id == "" {
+			return true // the codec never mints empty IDs
+		}
+		pos := store.Pos{Time: time.Unix(0, nanos).UTC(), ID: id}
+		dec, err := decodeCursor(encodeCursor(pos))
+		return err == nil && dec.Time.Equal(pos.Time) && dec.ID == pos.ID
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCursorRoundTripPipes: IDs containing the internal separator must
+// still round-trip (SplitN keeps the tail intact).
+func TestCursorRoundTripPipes(t *testing.T) {
+	pos := store.Pos{Time: time.Unix(0, 42).UTC(), ID: "a|b|c"}
+	dec, err := decodeCursor(encodeCursor(pos))
+	if err != nil || dec.ID != "a|b|c" {
+		t.Fatalf("pipe id round-trip: pos=%+v err=%v", dec, err)
+	}
+}
+
+func TestCursorDecodeGarbage(t *testing.T) {
+	b64 := func(s string) string { return base64.RawURLEncoding.EncodeToString([]byte(s)) }
+	long := make([]byte, maxCursorLen+1)
+	for i := range long {
+		long[i] = 'A'
+	}
+	cases := map[string]string{
+		"not base64":    "%%%not-base64%%%",
+		"wrong version": b64("c9|1|x"),
+		"bad nanos":     b64("c1|abc|x"),
+		"two parts":     b64("c1|5"),
+		"empty id":      b64("c1|5|"),
+		"oversized":     string(long),
+		"version only":  b64("c1"),
+	}
+	for name, in := range cases {
+		if _, err := decodeCursor(in); !errors.Is(err, ErrBadCursor) {
+			t.Errorf("%s: want ErrBadCursor, got %v", name, err)
+		}
+	}
+	if pos, err := decodeCursor(""); err != nil || !pos.IsZero() {
+		t.Errorf("empty cursor: want zero position, got %+v err=%v", pos, err)
+	}
+}
+
+// FuzzCursor: decodeCursor must never panic, and anything it accepts
+// must survive a re-encode/decode round trip.
+func FuzzCursor(f *testing.F) {
+	f.Add("")
+	f.Add("!!!not-base64!!!")
+	f.Add(encodeCursor(store.Pos{Time: time.Unix(0, 1704067200000000000).UTC(), ID: "g00042"}))
+	f.Add(encodeCursor(store.Pos{Time: time.Unix(0, -1).UTC(), ID: "a|b"}))
+	f.Add(base64.RawURLEncoding.EncodeToString([]byte("c1|99|")))
+	f.Fuzz(func(t *testing.T, s string) {
+		pos, err := decodeCursor(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadCursor) {
+				t.Fatalf("non-sentinel decode error for %q: %v", s, err)
+			}
+			return
+		}
+		if s == "" {
+			return
+		}
+		again, err := decodeCursor(encodeCursor(pos))
+		if err != nil {
+			t.Fatalf("accepted cursor %q failed round trip: %v", s, err)
+		}
+		if !again.Time.Equal(pos.Time) || again.ID != pos.ID {
+			t.Fatalf("round trip drifted: %+v vs %+v", pos, again)
+		}
+	})
+}
+
+// classifyCursorWalk walks GET /v1/classify in cursor mode, returning
+// every job_id in page order.
+func classifyCursorWalk(t *testing.T, base string, pageSize int, onPage func(page int)) []string {
+	t.Helper()
+	var ids []string
+	cursor := ""
+	for page := 0; ; page++ {
+		u := fmt.Sprintf("%s/v1/classify?start=%s&end=%s&limit=%d&cursor=%s",
+			base, url.QueryEscape("2024-01-01T00:00:00Z"), url.QueryEscape("2024-03-01T00:00:00Z"),
+			pageSize, url.QueryEscape(cursor))
+		var env struct {
+			Items      []map[string]any `json:"items"`
+			NextCursor string           `json:"next_cursor"`
+			HasMore    bool             `json:"has_more"`
+		}
+		if code := getJSON(t, u, &env); code != http.StatusOK {
+			t.Fatalf("page %d: status %d", page, code)
+		}
+		for _, it := range env.Items {
+			ids = append(ids, it["job_id"].(string))
+		}
+		if !env.HasMore {
+			if env.NextCursor != "" {
+				t.Fatalf("next_cursor present without has_more")
+			}
+			return ids
+		}
+		if env.NextCursor == "" {
+			t.Fatalf("has_more without next_cursor")
+		}
+		cursor = env.NextCursor
+		if onPage != nil {
+			onPage(page)
+		}
+		if page > 1000 {
+			t.Fatal("cursor walk did not terminate")
+		}
+	}
+}
+
+// TestClassifyCursorWalk: the cursor walk visits every job in the range
+// exactly once, in pages of the requested size.
+func TestClassifyCursorWalk(t *testing.T) {
+	srv, _ := testServer(t)
+	ids := classifyCursorWalk(t, srv.URL, 23, nil)
+	if len(ids) != 200 {
+		t.Fatalf("walked %d jobs, want 200", len(ids))
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("job %s returned twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestClassifyCursorStableUnderInsert: records inserted behind the
+// cursor mid-walk never surface, and no original record is skipped or
+// duplicated — the guarantee offset pagination cannot give.
+func TestClassifyCursorStableUnderInsert(t *testing.T) {
+	srv, st := testServer(t)
+	mkJob := func(id string, submit time.Time) *job.Job {
+		return &job.Job{
+			ID: id, User: "u0002", Name: "lateapp", Environment: "gcc/12.2",
+			CoresRequested: 4, NodesRequested: 1, NodesAllocated: 1,
+			FreqRequested: job.FreqBoost,
+			SubmitTime:    submit, StartTime: submit.Add(time.Minute), EndTime: submit.Add(time.Hour),
+		}
+	}
+	early := time.Date(2024, 1, 1, 0, 30, 0, 0, time.UTC) // behind any page-2+ cursor
+	inserted := 0
+	ids := classifyCursorWalk(t, srv.URL, 20, func(page int) {
+		// Between every two pages, insert one record behind the cursor
+		// and one far ahead of the range.
+		if err := st.Insert(
+			mkJob(fmt.Sprintf("behind%02d", page), early.Add(time.Duration(page)*time.Second)),
+			mkJob(fmt.Sprintf("ahead%02d", page), time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)),
+		); err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+	})
+	if inserted < 5 {
+		t.Fatalf("walk took only %d pages; concurrency scenario not exercised", inserted)
+	}
+	count := make(map[string]int)
+	for _, id := range ids {
+		count[id]++
+	}
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("s%04d", i)
+		if count[id] != 1 {
+			t.Fatalf("original job %s seen %d times, want exactly 1", id, count[id])
+		}
+	}
+	// "behind" inserts happened after their position was already
+	// consumed — the strictly-after contract keeps them invisible; the
+	// "ahead" inserts fall outside the range and never match either.
+	for id, n := range count {
+		if n > 1 {
+			t.Fatalf("job %s duplicated (%d times)", id, n)
+		}
+		if strings.HasPrefix(id, "behind") || strings.HasPrefix(id, "ahead") {
+			t.Fatalf("mid-walk insert %s surfaced in the walk", id)
+		}
+	}
+}
+
+// TestCharacterizeCursor: the executed-jobs endpoint pages by its own
+// (EndTime, ID) keyset and reports skipped records per page.
+func TestCharacterizeCursor(t *testing.T) {
+	srv, _ := testServer(t)
+	var total int
+	cursor := ""
+	for page := 0; ; page++ {
+		u := fmt.Sprintf("%s/v1/characterize?start=%s&end=%s&limit=60&cursor=%s",
+			srv.URL, url.QueryEscape("2024-01-01T00:00:00Z"), url.QueryEscape("2024-03-01T00:00:00Z"),
+			url.QueryEscape(cursor))
+		var env struct {
+			Items      []map[string]any `json:"items"`
+			NextCursor string           `json:"next_cursor"`
+			HasMore    bool             `json:"has_more"`
+		}
+		if code := getJSON(t, u, &env); code != http.StatusOK {
+			t.Fatalf("page %d: status %d", page, code)
+		}
+		total += len(env.Items)
+		if !env.HasMore {
+			break
+		}
+		cursor = env.NextCursor
+	}
+	if total != 200 {
+		t.Fatalf("characterized %d jobs via cursor walk, want 200", total)
+	}
+}
+
+// TestCursorBadRequests: a garbage cursor answers 400 with the stable
+// bad_cursor code.
+func TestCursorBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	u := srv.URL + "/v1/classify?start=2024-01-01T00:00:00Z&end=2024-02-01T00:00:00Z&cursor=@@@"
+	var body struct {
+		Code string `json:"code"`
+	}
+	if code := getJSON(t, u, &body); code != http.StatusBadRequest {
+		t.Fatalf("garbage cursor: status %d, want 400", code)
+	}
+	if body.Code != "bad_cursor" {
+		t.Fatalf("garbage cursor: code %q, want bad_cursor", body.Code)
+	}
+}
+
+// TestOffsetDeprecationHeader: legacy offset pagination still works but
+// is flagged; cursor mode is not.
+func TestOffsetDeprecationHeader(t *testing.T) {
+	srv, _ := testServer(t)
+	get := func(q string) *http.Response {
+		resp, err := http.Get(srv.URL + "/v1/classify?start=2024-01-01T00:00:00Z&end=2024-02-01T00:00:00Z" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get("&limit=5&offset=10"); resp.Header.Get("Deprecation") != "true" {
+		t.Fatalf("offset mode: missing Deprecation header")
+	} else if resp.Header.Get("Link") == "" {
+		t.Fatalf("offset mode: missing successor-version Link header")
+	}
+	if resp := get("&limit=5&cursor="); resp.Header.Get("Deprecation") != "" {
+		t.Fatalf("cursor mode: unexpected Deprecation header")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"mcbound/internal/admission"
 	"mcbound/internal/core"
 	"mcbound/internal/job"
+	"mcbound/internal/replay"
 	"mcbound/internal/resilience"
 	"mcbound/internal/store"
 )
@@ -25,10 +26,13 @@ type errorBody struct {
 // Stable error codes of the v1 API.
 const (
 	codeBadRequest   = "bad_request"
+	codeBadCursor    = "bad_cursor"
 	codeInvalidJob   = "invalid_job"
 	codeNotFound     = "not_found"
 	codeNotTrained   = "not_trained"
 	codeBodyTooLarge = "body_too_large"
+	codeReplayBusy   = "replay_conflict"
+	codeReplayIdle   = "replay_not_active"
 	codeCanceled     = "canceled"
 	codeDeadline     = "deadline_exceeded"
 	codeBreakerOpen  = "breaker_open"
@@ -55,12 +59,18 @@ func errToStatus(err error) (status int, code string) {
 	switch {
 	case errors.As(err, &maxBytes):
 		return http.StatusRequestEntityTooLarge, codeBodyTooLarge
+	case errors.Is(err, ErrBadCursor):
+		return http.StatusBadRequest, codeBadCursor
 	case errors.Is(err, job.ErrInvalid):
 		return http.StatusBadRequest, codeInvalidJob
 	case errors.Is(err, errBadRequest):
 		return http.StatusBadRequest, codeBadRequest
 	case errors.Is(err, store.ErrNotFound):
 		return http.StatusNotFound, codeNotFound
+	case errors.Is(err, replay.ErrConflict):
+		return http.StatusConflict, codeReplayBusy
+	case errors.Is(err, replay.ErrNotActive):
+		return http.StatusConflict, codeReplayIdle
 	case errors.Is(err, core.ErrNotTrained):
 		return http.StatusServiceUnavailable, codeNotTrained
 	case errors.Is(err, resilience.ErrOpen):

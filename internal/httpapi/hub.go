@@ -1,0 +1,143 @@
+package httpapi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// predHub fans classification results out to SSE subscribers. Every
+// published prediction gets a monotonically increasing event ID; a
+// bounded ring of recent events backs Last-Event-ID resume, so a
+// client that reconnects within the ring's horizon replays exactly
+// the events it missed and a client that fell further behind gets an
+// explicit gap marker instead of a silent hole.
+//
+// Slow consumers are disconnected, not buffered without bound: when a
+// subscriber's channel is full the hub closes it, the handler ends the
+// response, and the client reconnects with its Last-Event-ID — the
+// ring then decides between exact resume and gap. This keeps one
+// stalled TCP window from growing server memory.
+type predHub struct {
+	mu      sync.Mutex
+	seq     uint64
+	ring    []hubEvent // dense, oldest first, len <= ringCap
+	ringCap int
+	subs    map[*hubSub]struct{}
+
+	published atomic.Int64
+	dropped   atomic.Int64
+}
+
+// hubEvent is one SSE event: its ID and the pre-marshaled JSON data.
+type hubEvent struct {
+	id   uint64
+	data []byte
+}
+
+// hubSub is one subscriber. The channel is closed by the hub on
+// overflow (gap semantics) or never (the handler unsubscribes on
+// disconnect).
+type hubSub struct {
+	ch     chan hubEvent
+	gap    bool // the requested resume point predates the ring
+	closed bool
+}
+
+func newPredHub(ringCap int) *predHub {
+	if ringCap <= 0 {
+		ringCap = 1024
+	}
+	return &predHub{ringCap: ringCap, subs: make(map[*hubSub]struct{})}
+}
+
+// publish assigns the next event ID and delivers to every subscriber.
+// data must not be mutated afterwards.
+func (h *predHub) publish(data []byte) {
+	h.mu.Lock()
+	h.seq++
+	ev := hubEvent{id: h.seq, data: data}
+	if len(h.ring) == h.ringCap {
+		copy(h.ring, h.ring[1:])
+		h.ring[len(h.ring)-1] = ev
+	} else {
+		h.ring = append(h.ring, ev)
+	}
+	for s := range h.subs {
+		if s.closed {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			// Consumer stalled: cut it loose rather than buffer.
+			s.closed = true
+			close(s.ch)
+			delete(h.subs, s)
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+	h.published.Add(1)
+}
+
+// subscribe registers a consumer resuming after event ID afterID
+// (0 = live tail only, no backlog). The backlog the ring still holds
+// is preloaded into the channel; gap reports that events between
+// afterID and the ring's oldest entry are gone for good.
+func (h *predHub) subscribe(afterID uint64, buffer int) *hubSub {
+	if buffer < 1 {
+		buffer = 64
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	backlog := h.backlogLocked(afterID)
+	s := &hubSub{ch: make(chan hubEvent, buffer+len(backlog))}
+	if afterID > 0 && len(h.ring) > 0 && h.ring[0].id > afterID+1 {
+		s.gap = true
+	}
+	if afterID > 0 && len(h.ring) == 0 && h.seq > afterID {
+		s.gap = true // everything since afterID already rotated out
+	}
+	for _, ev := range backlog {
+		s.ch <- ev
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+func (h *predHub) backlogLocked(afterID uint64) []hubEvent {
+	if afterID == 0 || len(h.ring) == 0 {
+		return nil
+	}
+	// First ring entry with id > afterID (ring IDs are dense).
+	first := h.ring[0].id
+	if afterID+1 < first {
+		afterID = first - 1
+	}
+	idx := int(afterID + 1 - first)
+	if idx >= len(h.ring) {
+		return nil
+	}
+	out := make([]hubEvent, len(h.ring)-idx)
+	copy(out, h.ring[idx:])
+	return out
+}
+
+// unsubscribe removes a consumer; safe to call after an overflow
+// disconnect.
+func (h *predHub) unsubscribe(s *hubSub) {
+	h.mu.Lock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		s.closed = true
+		close(s.ch)
+	}
+	h.mu.Unlock()
+}
+
+// subscribers returns the live consumer count (gauge).
+func (h *predHub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

@@ -1,0 +1,58 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"mcbound/internal/replay"
+)
+
+// The replay resource is a singleton: POST creates the one job (409 if
+// one is active), GET reads its state document, pause/resume are verbs
+// on it and DELETE cancels it (or clears a finished job back to idle).
+// Registered only when Options.Replay wires a manager.
+
+func (s *Server) handleReplayStart(w http.ResponseWriter, r *http.Request) {
+	var cfg replay.Config
+	if err := decodeBody(r, &cfg); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	st, err := s.replayMgr.Start(cfg)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// 202: the job runs server-side; GET /v1/replay tracks progress.
+	s.writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleReplayStatus(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.replayMgr.Status())
+}
+
+func (s *Server) handleReplayPause(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.replayMgr.Pause()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReplayResume(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.replayMgr.Resume()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReplayCancel(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.replayMgr.Cancel()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}

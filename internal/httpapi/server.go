@@ -2,22 +2,35 @@
 // the role of the paper's flask backend (§III-E). Endpoints mirror the
 // framework API:
 //
-//	GET  /healthz                      liveness probe
-//	GET  /metrics                      Prometheus text exposition
-//	GET  /v1/model                     currently served model info
-//	POST /v1/train                     trigger the Training Workflow
-//	POST /v1/jobs                      insert job records (atomic batch)
-//	GET  /v1/classify/{id}             classify one stored job
-//	POST /v1/classify                  classify posted job records
-//	GET  /v1/classify?start=&end=      classify jobs submitted in a range
-//	GET  /v1/characterize?start=&end=  Roofline-label executed jobs
+//	GET    /healthz                      liveness probe
+//	GET    /metrics                      Prometheus text exposition
+//	GET    /v1/model                     currently served model info
+//	POST   /v1/train                     trigger the Training Workflow
+//	POST   /v1/jobs                      insert job records (atomic batch)
+//	POST   /v1/jobs/stream               NDJSON streaming ingest (ack/error frames per batch)
+//	GET    /v1/classify/{id}             classify one stored job
+//	POST   /v1/classify                  classify posted job records
+//	GET    /v1/classify?start=&end=      classify jobs submitted in a range
+//	GET    /v1/characterize?start=&end=  Roofline-label executed jobs
+//	GET    /v1/predictions/stream        classifications as SSE (Last-Event-ID resume)
+//	POST   /v1/replay                    start a server-side trace replay (409 if active)
+//	GET    /v1/replay                    replay job state document
+//	POST   /v1/replay/pause              suspend the replay at its next checkpoint
+//	POST   /v1/replay/resume             continue a paused replay
+//	DELETE /v1/replay                    cancel the replay (or clear a finished one)
 //
-// All payloads are JSON; timestamps are RFC 3339. List endpoints accept
-// limit/offset pagination and return {items, total, skipped} envelopes.
-// Errors carry a stable machine-readable code next to the message:
-// {"error": "...", "code": "not_found"}. Request bodies are capped
-// (Options.MaxBodyBytes) and every request is tagged with an
-// X-Request-Id, logged, counted and timed per route.
+// All payloads are JSON; timestamps are RFC 3339. Range endpoints
+// paginate with opaque resumable cursors (?cursor=, {items, next_cursor,
+// has_more} envelopes) that stay stable under concurrent inserts;
+// limit/offset remains a deprecated alias for one release and answers
+// with a Deprecation header. Errors carry a stable machine-readable
+// code next to the message: {"error": "...", "code": "not_found"}.
+// Request bodies are capped (Options.MaxBodyBytes) — except the
+// streaming ingest, which is unbounded in length but caps each record —
+// and every request is tagged with an X-Request-Id, logged, counted and
+// timed per route. Long-lived routes (the two streams, replay-driven
+// traffic) are exempt from request-deadline clamping: X-Request-Timeout
+// there bounds each chunk of work, not the connection.
 package httpapi
 
 import (
@@ -33,6 +46,7 @@ import (
 	"mcbound/internal/admission"
 	"mcbound/internal/core"
 	"mcbound/internal/job"
+	"mcbound/internal/replay"
 	"mcbound/internal/resilience"
 	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
@@ -86,6 +100,25 @@ type Options struct {
 	// grows a "durability" section and the mcbound_wal_* collectors are
 	// registered. Its Store() must be the same store passed to New.
 	Durable *store.Durable
+
+	// Replay, when set, mounts the /v1/replay resource backed by this
+	// manager; /healthz grows a "replay" section and the
+	// mcbound_replay_* collectors are registered. Call
+	// Manager.SetTarget(server) after New so the replay traffic loops
+	// through this handler.
+	Replay *replay.Manager
+
+	// StreamBatchSize groups NDJSON ingest records per commit/ack; 0
+	// selects DefaultStreamBatch.
+	StreamBatchSize int
+
+	// SSEBufferSize sizes the prediction stream's resume ring and each
+	// subscriber's channel; 0 selects DefaultSSEBuffer.
+	SSEBufferSize int
+
+	// SSEHeartbeat is the idle keep-alive period on prediction streams;
+	// 0 selects DefaultSSEHeartbeat.
+	SSEHeartbeat time.Duration
 }
 
 // Server wires a Framework and its job store into an http.Handler.
@@ -103,6 +136,11 @@ type Server struct {
 	defaultDeadline time.Duration
 	maxDeadline     time.Duration
 	durable         *store.Durable
+	replayMgr       *replay.Manager
+	hub             *predHub
+	streamBatch     int
+	sseBuffer       int
+	sseHeartbeat    time.Duration
 }
 
 // New builds a Server. The store must be the same one backing the
@@ -129,6 +167,15 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 	if opts.MaxDeadline < opts.DefaultDeadline {
 		opts.MaxDeadline = opts.DefaultDeadline
 	}
+	if opts.StreamBatchSize <= 0 {
+		opts.StreamBatchSize = DefaultStreamBatch
+	}
+	if opts.SSEBufferSize <= 0 {
+		opts.SSEBufferSize = DefaultSSEBuffer
+	}
+	if opts.SSEHeartbeat <= 0 {
+		opts.SSEHeartbeat = DefaultSSEHeartbeat
+	}
 	s := &Server{
 		fw:              fw,
 		store:           st,
@@ -142,10 +189,19 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 		defaultDeadline: opts.DefaultDeadline,
 		maxDeadline:     opts.MaxDeadline,
 		durable:         opts.Durable,
+		replayMgr:       opts.Replay,
+		hub:             newPredHub(opts.SSEBufferSize),
+		streamBatch:     opts.StreamBatchSize,
+		sseBuffer:       opts.SSEBufferSize,
+		sseHeartbeat:    opts.SSEHeartbeat,
 	}
 	registerAdmissionMetrics(s.reg, s.adm)
+	registerStreamMetrics(s.reg, s.hub)
 	if s.durable != nil {
 		registerWALMetrics(s.reg, s.durable)
+	}
+	if s.replayMgr != nil {
+		registerReplayMetrics(s.reg, s.replayMgr)
 	}
 	// Route priorities: the inference hot path is Interactive, bulk
 	// range/batch endpoints are Batch, retraining is Background (capped
@@ -159,6 +215,17 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 	s.route("POST /v1/classify", s.guard(admission.Interactive, s.handleClassifyJobs))
 	s.route("GET /v1/classify", s.guard(admission.Batch, s.handleClassifyRange))
 	s.route("GET /v1/characterize", s.guard(admission.Batch, s.handleCharacterize))
+	// Long-lived routes: admitted as streams (no request deadline, no
+	// doomed-shedding; per-chunk budgets instead — see guardStream).
+	s.route("POST /v1/jobs/stream", s.guardStream(admission.Batch, s.handleInsertStream))
+	s.route("GET /v1/predictions/stream", s.guardStream(admission.Batch, s.handlePredictionStream))
+	if s.replayMgr != nil {
+		s.route("POST /v1/replay", s.guard(admission.Interactive, s.handleReplayStart))
+		s.route("GET /v1/replay", s.guard(admission.Interactive, s.handleReplayStatus))
+		s.route("POST /v1/replay/pause", s.guard(admission.Interactive, s.handleReplayPause))
+		s.route("POST /v1/replay/resume", s.guard(admission.Interactive, s.handleReplayResume))
+		s.route("DELETE /v1/replay", s.guard(admission.Interactive, s.handleReplayCancel))
+	}
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -187,8 +254,10 @@ func (s *Server) ObserveTrain(rep *core.TrainReport, err error) { s.metrics.obse
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // dispatch applies the body cap and routes to the instrumented mux.
+// The NDJSON ingest stream is exempt from the cap — it is unbounded in
+// length by design; the handler caps each record line instead.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
-	if r.Body != nil {
+	if r.Body != nil && !(r.Method == http.MethodPost && r.URL.Path == "/v1/jobs/stream") {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	}
 	s.mux.ServeHTTP(w, r)
@@ -253,6 +322,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.durable != nil {
 		body["durability"] = s.durable.Health()
+	}
+	if s.replayMgr != nil {
+		st := s.replayMgr.Status()
+		body["replay"] = map[string]any{
+			"state":            st.State,
+			"sim_clock":        st.SimClock,
+			"records_replayed": st.Records,
+			"speed":            st.Speed,
+			"windows_done":     st.WindowsDone,
+			"windows_total":    st.WindowsTotal,
+		}
 	}
 	s.writeJSON(w, httpStatus, body)
 }
@@ -357,6 +437,7 @@ func (s *Server) handleClassifyByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.observeClassify(1, time.Since(t0))
+	s.publishPredictions([]core.Prediction{pred})
 	s.writeJSON(w, http.StatusOK, pred)
 }
 
@@ -373,6 +454,7 @@ func (s *Server) handleClassifyJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.observeClassify(len(preds), time.Since(t0))
+	s.publishPredictions(preds)
 	s.writeJSON(w, http.StatusOK, preds)
 }
 
@@ -396,6 +478,11 @@ func (s *Server) handleClassifyRange(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if r.URL.Query().Has("cursor") {
+		s.classifyCursorPage(w, r, start, end, limit)
+		return
+	}
+	markOffsetDeprecated(w, r)
 	t0 := time.Now()
 	preds, err := s.fw.ClassifySubmitted(r.Context(), start, end)
 	if err != nil {
@@ -403,10 +490,41 @@ func (s *Server) handleClassifyRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.observeClassify(len(preds), time.Since(t0))
+	s.publishPredictions(preds)
 	s.writeJSON(w, http.StatusOK, listEnvelope{
 		Items: paginate(preds, limit, offset),
 		Total: len(preds),
 	})
+}
+
+// classifyCursorPage serves one cursor page of GET /v1/classify: the
+// page of jobs is selected by (SubmitTime, ID) keyset position, then
+// classified as a batch. The minted next_cursor names the last job of
+// the page, so resumption is exact under concurrent inserts.
+func (s *Server) classifyCursorPage(w http.ResponseWriter, r *http.Request, start, end time.Time, limit int) {
+	after, err := decodeCursor(r.URL.Query().Get("cursor"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	jobs, more := s.store.SubmittedPage(start, end, after, cursorParams(limit))
+	env := cursorEnvelope{Items: []core.Prediction{}, HasMore: more}
+	if len(jobs) > 0 {
+		t0 := time.Now()
+		preds, err := s.fw.ClassifyJobs(r.Context(), jobs)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.metrics.observeClassify(len(preds), time.Since(t0))
+		s.publishPredictions(preds)
+		env.Items = preds
+		if more {
+			last := jobs[len(jobs)-1]
+			env.NextCursor = encodeCursor(store.Pos{Time: last.SubmitTime, ID: last.ID})
+		}
+	}
+	s.writeJSON(w, http.StatusOK, env)
 }
 
 type charBody struct {
@@ -428,13 +546,48 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if r.URL.Query().Has("cursor") {
+		s.characterizeCursorPage(w, r, start, end, limit)
+		return
+	}
+	markOffsetDeprecated(w, r)
 	jobs, err := s.fw.Fetcher().FetchExecuted(r.Context(), start, end)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	out := make([]charBody, 0, len(jobs))
-	skipped := 0
+	out, skipped := s.characterizeJobs(jobs)
+	s.writeJSON(w, http.StatusOK, listEnvelope{
+		Items:   paginate(out, limit, offset),
+		Total:   len(out),
+		Skipped: skipped,
+	})
+}
+
+// characterizeCursorPage serves one cursor page of GET /v1/characterize
+// over the (EndTime, ID) keyset. Uncharacterizable jobs still advance
+// the cursor (they are part of the keyset) but are only counted in
+// skipped, never silently swallowed between pages.
+func (s *Server) characterizeCursorPage(w http.ResponseWriter, r *http.Request, start, end time.Time, limit int) {
+	after, err := decodeCursor(r.URL.Query().Get("cursor"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	jobs, more := s.store.ExecutedPage(start, end, after, cursorParams(limit))
+	out, skipped := s.characterizeJobs(jobs)
+	env := cursorEnvelope{Items: out, HasMore: more, Skipped: skipped}
+	if more && len(jobs) > 0 {
+		last := jobs[len(jobs)-1]
+		env.NextCursor = encodeCursor(store.Pos{Time: last.EndTime, ID: last.ID})
+	}
+	s.writeJSON(w, http.StatusOK, env)
+}
+
+// characterizeJobs runs the Roofline characterizer over a page of
+// completed jobs, counting the uncharacterizable ones.
+func (s *Server) characterizeJobs(jobs []*job.Job) (out []charBody, skipped int) {
+	out = make([]charBody, 0, len(jobs))
 	for _, j := range jobs {
 		pt, err := s.fw.Characterizer().Characterize(j)
 		if err != nil {
@@ -449,11 +602,19 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 			Intensity: pt.Intensity,
 		})
 	}
-	s.writeJSON(w, http.StatusOK, listEnvelope{
-		Items:   paginate(out, limit, offset),
-		Total:   len(out),
-		Skipped: skipped,
-	})
+	return out, skipped
+}
+
+// markOffsetDeprecated flags legacy offset-pagination responses. The
+// limit/offset parameters remain a working alias for one release; the
+// header gives clients a machine-readable migration nudge toward
+// ?cursor= (RFC 8594 style).
+func markOffsetDeprecated(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Has("offset") || q.Has("limit") {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1>; rel="successor-version"; title="use cursor pagination"`)
+	}
 }
 
 func timeRange(r *http.Request) (start, end time.Time, err error) {

@@ -1,0 +1,67 @@
+package replay
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// Doer is the minimal HTTP client surface the replay manager drives the
+// target API through. *http.Client satisfies it for a remote target;
+// HandlerClient satisfies it for the common in-process case.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// HandlerClient serves requests straight into an http.Handler without a
+// TCP listener: the replay traffic still crosses the full middleware
+// stack (request IDs, access log, admission, instrumentation) but stays
+// in-memory. Responses are buffered whole, which is fine for replay:
+// every call the manager makes has a bounded response.
+type HandlerClient struct {
+	Handler http.Handler
+}
+
+// Do implements Doer.
+func (c *HandlerClient) Do(req *http.Request) (*http.Response, error) {
+	rec := &bufferRecorder{header: make(http.Header)}
+	c.Handler.ServeHTTP(rec, req)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Status:        http.StatusText(status),
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// bufferRecorder is a minimal ResponseWriter + Flusher (the streaming
+// ingest handler flushes after every ack frame; in-memory that is a
+// no-op, but the type assertion must succeed).
+type bufferRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (r *bufferRecorder) Header() http.Header { return r.header }
+
+func (r *bufferRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *bufferRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.body.Write(b)
+}
+
+func (r *bufferRecorder) Flush() {}

@@ -1,0 +1,49 @@
+package replay
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts replay pacing so tests (and the golden e2e harness)
+// can run a ×N replay without real sleeps while the production manager
+// honors wall-clock pacing.
+type Clock interface {
+	// Now is the wall-clock reference used for status timestamps.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done (returning ctx.Err()).
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// RealClock paces against the actual wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// InstantClock never sleeps: every pacing delay collapses to zero, so a
+// replay runs as fast as the target can absorb it. The speed reported
+// in the status document is still the configured one — InstantClock
+// changes wall-clock behavior, not the simulated schedule.
+type InstantClock struct{}
+
+// Now implements Clock.
+func (InstantClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock (returns immediately, honoring cancellation).
+func (InstantClock) Sleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }

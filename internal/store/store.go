@@ -39,12 +39,15 @@ type Store struct {
 	mu   sync.RWMutex
 	byID map[string]*job.Job
 	// byEnd is an immutable snapshot of the completed jobs sorted by
-	// EndTime, rebuilt on demand. Writers that change the completion set
-	// invalidate it by setting it nil; readers either grab the current
-	// snapshot (never mutated after publication) or rebuild under the
-	// write lock. This keeps range scans off the write path without the
-	// sort-under-reader race of an in-place index.
-	byEnd []*job.Job
+	// (EndTime, ID), rebuilt on demand. Writers that change the
+	// completion set invalidate it by setting it nil; readers either
+	// grab the current snapshot (never mutated after publication) or
+	// rebuild under the write lock. This keeps range scans off the
+	// write path without the sort-under-reader race of an in-place
+	// index. bySubmit is the same idea over every job, sorted by
+	// (SubmitTime, ID) — the keyset the cursor page scans walk.
+	byEnd    []*job.Job
+	bySubmit []*job.Job
 }
 
 // New returns an empty Store.
@@ -70,6 +73,8 @@ func (s *Store) Insert(jobs ...*job.Job) error {
 		if !cp.EndTime.IsZero() || (existed && !old.EndTime.IsZero()) {
 			s.byEnd = nil
 		}
+		// Every insert perturbs the submission keyset.
+		s.bySubmit = nil
 	}
 	return nil
 }
@@ -123,6 +128,104 @@ func (s *Store) executedIndex() []*job.Job {
 	return idx
 }
 
+// submittedIndex returns the current submission snapshot (every job
+// sorted by (SubmitTime, ID)), rebuilding it under the write lock when
+// an insert has invalidated it. The returned slice is never mutated
+// afterwards, so callers may search it unlocked.
+func (s *Store) submittedIndex() []*job.Job {
+	s.mu.RLock()
+	idx := s.bySubmit
+	s.mu.RUnlock()
+	if idx != nil {
+		return idx
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bySubmit != nil { // another writer rebuilt it first
+		return s.bySubmit
+	}
+	idx = make([]*job.Job, 0, len(s.byID))
+	for _, j := range s.byID {
+		idx = append(idx, j)
+	}
+	sort.Slice(idx, func(i, k int) bool {
+		if idx[i].SubmitTime.Equal(idx[k].SubmitTime) {
+			return idx[i].ID < idx[k].ID
+		}
+		return idx[i].SubmitTime.Before(idx[k].SubmitTime)
+	})
+	s.bySubmit = idx
+	return idx
+}
+
+// Pos is a keyset position in a (time, id)-ordered scan: the sort key
+// of the last record a reader has consumed. The zero value means
+// "before everything". Which time field orders the scan depends on the
+// method the position is passed to (SubmitTime for SubmittedPage,
+// EndTime for ExecutedPage).
+type Pos struct {
+	Time time.Time
+	ID   string
+}
+
+// IsZero reports whether the position is the before-everything marker.
+func (p Pos) IsZero() bool { return p.Time.IsZero() && p.ID == "" }
+
+// less orders positions the way the snapshot indexes do.
+func (p Pos) less(t time.Time, id string) bool {
+	if p.Time.Equal(t) {
+		return p.ID < id
+	}
+	return p.Time.Before(t)
+}
+
+// pageAfter slices one keyset page out of a (time, id)-sorted index:
+// records strictly after `after`, with key(j) in [start, end), at most
+// limit of them (limit <= 0 means no cap). more reports whether the
+// range holds records beyond the returned page. Because the position
+// names a concrete (time, id) key rather than a count, concurrent
+// inserts before the position can neither duplicate nor skip records
+// for a reader walking pages — the offset-pagination failure mode.
+func pageAfter(idx []*job.Job, key func(*job.Job) time.Time, start, end time.Time, after Pos, limit int) (items []*job.Job, more bool) {
+	lo := sort.Search(len(idx), func(i int) bool { return !key(idx[i]).Before(start) })
+	if !after.IsZero() {
+		// First record strictly after the cursor position.
+		cut := sort.Search(len(idx), func(i int) bool { return after.less(key(idx[i]), idx[i].ID) })
+		if cut > lo {
+			lo = cut
+		}
+	}
+	hi := sort.Search(len(idx), func(i int) bool { return !key(idx[i]).Before(end) })
+	if lo >= hi {
+		return []*job.Job{}, false
+	}
+	stop := hi
+	if limit > 0 && lo+limit < hi {
+		stop = lo + limit
+		more = true
+	}
+	items = make([]*job.Job, stop-lo)
+	copy(items, idx[lo:stop])
+	return items, more
+}
+
+// SubmittedPage returns up to limit jobs with SubmitTime in
+// [start, end) whose (SubmitTime, ID) key lies strictly after the
+// given position, in key order. A zero Pos starts at the beginning of
+// the range. more reports whether another page exists. This is the
+// resumable scan behind the v1 cursor API.
+func (s *Store) SubmittedPage(start, end time.Time, after Pos, limit int) (items []*job.Job, more bool) {
+	return pageAfter(s.submittedIndex(), func(j *job.Job) time.Time { return j.SubmitTime },
+		start, end, after, limit)
+}
+
+// ExecutedPage is SubmittedPage over the completion keyset: jobs with
+// EndTime in [start, end) strictly after the (EndTime, ID) position.
+func (s *Store) ExecutedPage(start, end time.Time, after Pos, limit int) (items []*job.Job, more bool) {
+	return pageAfter(s.executedIndex(), func(j *job.Job) time.Time { return j.EndTime },
+		start, end, after, limit)
+}
+
 // ExecutedBetween returns all jobs whose EndTime lies in [start, end),
 // ordered by completion time. This is the query the Training Workflow
 // issues for its α-day window.
@@ -139,37 +242,19 @@ func (s *Store) ExecutedBetween(start, end time.Time) []*job.Job {
 // ordered by submission time. The Inference Workflow uses it to collect
 // the jobs accumulated since its last trigger.
 func (s *Store) SubmittedBetween(start, end time.Time) []*job.Job {
-	s.mu.RLock()
-	var out []*job.Job
-	for _, j := range s.byID {
-		if !j.SubmitTime.Before(start) && j.SubmitTime.Before(end) {
-			out = append(out, j)
-		}
-	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, k int) bool {
-		if out[i].SubmitTime.Equal(out[k].SubmitTime) {
-			return out[i].ID < out[k].ID
-		}
-		return out[i].SubmitTime.Before(out[k].SubmitTime)
-	})
+	idx := s.submittedIndex()
+	lo := sort.Search(len(idx), func(i int) bool { return !idx[i].SubmitTime.Before(start) })
+	hi := sort.Search(len(idx), func(i int) bool { return !idx[i].SubmitTime.Before(end) })
+	out := make([]*job.Job, hi-lo)
+	copy(out, idx[lo:hi])
 	return out
 }
 
 // All returns every job ordered by submission time.
 func (s *Store) All() []*job.Job {
-	s.mu.RLock()
-	out := make([]*job.Job, 0, len(s.byID))
-	for _, j := range s.byID {
-		out = append(out, j)
-	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, k int) bool {
-		if out[i].SubmitTime.Equal(out[k].SubmitTime) {
-			return out[i].ID < out[k].ID
-		}
-		return out[i].SubmitTime.Before(out[k].SubmitTime)
-	})
+	idx := s.submittedIndex()
+	out := make([]*job.Job, len(idx))
+	copy(out, idx)
 	return out
 }
 
