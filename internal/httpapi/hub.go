@@ -18,11 +18,12 @@ import (
 // ring then decides between exact resume and gap. This keeps one
 // stalled TCP window from growing server memory.
 type predHub struct {
-	mu      sync.Mutex
-	seq     uint64
-	ring    []hubEvent // dense, oldest first, len <= ringCap
-	ringCap int
-	subs    map[*hubSub]struct{}
+	mu   sync.Mutex
+	seq  uint64
+	ring []hubEvent // circular: oldest at head, n live entries
+	head int
+	n    int
+	subs map[*hubSub]struct{}
 
 	published atomic.Int64
 	dropped   atomic.Int64
@@ -39,7 +40,7 @@ type hubEvent struct {
 // disconnect).
 type hubSub struct {
 	ch     chan hubEvent
-	gap    bool // the requested resume point predates the ring
+	gap    bool // the requested resume point predates the ring or is unknown
 	closed bool
 }
 
@@ -47,20 +48,23 @@ func newPredHub(ringCap int) *predHub {
 	if ringCap <= 0 {
 		ringCap = 1024
 	}
-	return &predHub{ringCap: ringCap, subs: make(map[*hubSub]struct{})}
+	return &predHub{ring: make([]hubEvent, ringCap), subs: make(map[*hubSub]struct{})}
 }
 
 // publish assigns the next event ID and delivers to every subscriber.
-// data must not be mutated afterwards.
+// data must not be mutated afterwards. Eviction is O(1): a full ring
+// overwrites its oldest slot and advances head, so the classify hot
+// path never shifts the buffer under the hub mutex.
 func (h *predHub) publish(data []byte) {
 	h.mu.Lock()
 	h.seq++
 	ev := hubEvent{id: h.seq, data: data}
-	if len(h.ring) == h.ringCap {
-		copy(h.ring, h.ring[1:])
-		h.ring[len(h.ring)-1] = ev
+	if h.n == len(h.ring) {
+		h.ring[h.head] = ev
+		h.head = (h.head + 1) % len(h.ring)
 	} else {
-		h.ring = append(h.ring, ev)
+		h.ring[(h.head+h.n)%len(h.ring)] = ev
+		h.n++
 	}
 	for s := range h.subs {
 		if s.closed {
@@ -82,8 +86,11 @@ func (h *predHub) publish(data []byte) {
 
 // subscribe registers a consumer resuming after event ID afterID
 // (0 = live tail only, no backlog). The backlog the ring still holds
-// is preloaded into the channel; gap reports that events between
-// afterID and the ring's oldest entry are gone for good.
+// is preloaded into the channel; gap reports that the resume position
+// cannot be honored exactly — either events between afterID and the
+// ring's oldest entry rotated out, or afterID is ahead of anything
+// this hub ever issued (e.g. a pre-restart ID, since IDs restart
+// at 1) and the client must re-sync via a cursor range read.
 func (h *predHub) subscribe(afterID uint64, buffer int) *hubSub {
 	if buffer < 1 {
 		buffer = 64
@@ -92,10 +99,12 @@ func (h *predHub) subscribe(afterID uint64, buffer int) *hubSub {
 	defer h.mu.Unlock()
 	backlog := h.backlogLocked(afterID)
 	s := &hubSub{ch: make(chan hubEvent, buffer+len(backlog))}
-	if afterID > 0 && len(h.ring) > 0 && h.ring[0].id > afterID+1 {
+	switch {
+	case afterID > h.seq:
+		s.gap = true // future/stale ID from another epoch: cannot resume
+	case afterID > 0 && h.n > 0 && h.ring[h.head].id > afterID+1:
 		s.gap = true
-	}
-	if afterID > 0 && len(h.ring) == 0 && h.seq > afterID {
+	case afterID > 0 && h.n == 0 && h.seq > afterID:
 		s.gap = true // everything since afterID already rotated out
 	}
 	for _, ev := range backlog {
@@ -105,21 +114,26 @@ func (h *predHub) subscribe(afterID uint64, buffer int) *hubSub {
 	return s
 }
 
+// backlogLocked returns the ring's events with id > afterID, oldest
+// first. afterID is attacker-controlled (Last-Event-ID header), so all
+// position arithmetic stays in uint64 and is bounds-checked before any
+// conversion to int: values beyond h.seq mean "nothing to replay", not
+// an index.
 func (h *predHub) backlogLocked(afterID uint64) []hubEvent {
-	if afterID == 0 || len(h.ring) == 0 {
+	if afterID == 0 || h.n == 0 || afterID >= h.seq {
 		return nil
 	}
-	// First ring entry with id > afterID (ring IDs are dense).
-	first := h.ring[0].id
+	first := h.ring[h.head].id // oldest retained event
 	if afterID+1 < first {
-		afterID = first - 1
+		afterID = first - 1 // everything older rotated out; replay the whole ring
 	}
-	idx := int(afterID + 1 - first)
-	if idx >= len(h.ring) {
-		return nil
+	// afterID ∈ [first-1, seq-1] here, so off ∈ [0, n-1]: no underflow,
+	// no overflow, and the int conversion is safe.
+	off := int(afterID + 1 - first)
+	out := make([]hubEvent, h.n-off)
+	for i := range out {
+		out[i] = h.ring[(h.head+off+i)%len(h.ring)]
 	}
-	out := make([]hubEvent, len(h.ring)-idx)
-	copy(out, h.ring[idx:])
 	return out
 }
 

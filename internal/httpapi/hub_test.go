@@ -1,0 +1,98 @@
+package httpapi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func hubPublishN(h *predHub, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		h.publish([]byte(fmt.Sprintf(`{"n":%d}`, i)))
+	}
+}
+
+// TestHubHugeLastEventID: Last-Event-ID is attacker-controlled, so
+// resume positions far beyond anything the hub issued (including
+// values whose int conversion would go negative) must subscribe
+// cleanly — no panic, no backlog, and an explicit gap so the client
+// re-syncs. Regression: int(afterID+1-first) used to go negative for
+// afterID >= 2^63 and make([]hubEvent, len-idx) panicked.
+func TestHubHugeLastEventID(t *testing.T) {
+	h := newPredHub(16)
+	hubPublishN(h, 0, 8)
+	for _, after := range []uint64{9, 1 << 63, math.MaxUint64} {
+		s := h.subscribe(after, 4)
+		if !s.gap {
+			t.Fatalf("afterID=%d: gap=false, want true (cannot resume past seq=%d)", after, h.seq)
+		}
+		if got := len(s.ch); got != 0 {
+			t.Fatalf("afterID=%d: %d backlog events, want 0", after, got)
+		}
+		h.unsubscribe(s)
+	}
+}
+
+// TestHubFutureIDOnEmptyRing: a pre-restart resume ID against a fresh
+// hub (seq=0) is a gap, not a silent live tail — the client must learn
+// its position is from another epoch.
+func TestHubFutureIDOnEmptyRing(t *testing.T) {
+	h := newPredHub(16)
+	s := h.subscribe(42, 4)
+	if !s.gap {
+		t.Fatal("afterID=42 on empty hub: gap=false, want true")
+	}
+	h.unsubscribe(s)
+}
+
+// TestHubExactTailResume: afterID == seq is a valid live tail (nothing
+// missed), not a gap.
+func TestHubExactTailResume(t *testing.T) {
+	h := newPredHub(16)
+	hubPublishN(h, 0, 5)
+	s := h.subscribe(5, 4)
+	if s.gap {
+		t.Fatal("afterID==seq: gap=true, want false")
+	}
+	if got := len(s.ch); got != 0 {
+		t.Fatalf("afterID==seq: %d backlog events, want 0", got)
+	}
+	h.unsubscribe(s)
+}
+
+// TestHubRingWrap: once the circular buffer has wrapped, resume still
+// replays exactly the retained suffix in order, and positions that
+// rotated out produce a gap plus the full retained ring.
+func TestHubRingWrap(t *testing.T) {
+	h := newPredHub(4)
+	hubPublishN(h, 0, 10) // seq 1..10; ring retains 7,8,9,10
+
+	// Exact resume within the ring.
+	s := h.subscribe(8, 4)
+	if s.gap {
+		t.Fatal("resume at 8 (retained): gap=true, want false")
+	}
+	for _, want := range []uint64{9, 10} {
+		ev := <-s.ch
+		if ev.id != want {
+			t.Fatalf("replayed id %d, want %d", ev.id, want)
+		}
+	}
+	if got := len(s.ch); got != 0 {
+		t.Fatalf("%d extra backlog events after exact resume", got)
+	}
+	h.unsubscribe(s)
+
+	// Rotated-out resume: gap plus everything still retained.
+	s = h.subscribe(2, 4)
+	if !s.gap {
+		t.Fatal("resume at 2 (rotated out): gap=false, want true")
+	}
+	for _, want := range []uint64{7, 8, 9, 10} {
+		ev := <-s.ch
+		if ev.id != want {
+			t.Fatalf("post-gap replayed id %d, want %d", ev.id, want)
+		}
+	}
+	h.unsubscribe(s)
+}

@@ -12,7 +12,7 @@
 //	POST   /v1/classify                  classify posted job records
 //	GET    /v1/classify?start=&end=      classify jobs submitted in a range
 //	GET    /v1/characterize?start=&end=  Roofline-label executed jobs
-//	GET    /v1/predictions/stream        classifications as SSE (Last-Event-ID resume)
+//	GET    /v1/predictions/stream        write-path classifications as SSE (Last-Event-ID resume)
 //	POST   /v1/replay                    start a server-side trace replay (409 if active)
 //	GET    /v1/replay                    replay job state document
 //	POST   /v1/replay/pause              suspend the replay at its next checkpoint
@@ -25,6 +25,11 @@
 // limit/offset remains a deprecated alias for one release and answers
 // with a Deprecation header. Errors carry a stable machine-readable
 // code next to the message: {"error": "...", "code": "not_found"}.
+// The prediction stream carries only write-path classifications
+// (GET /v1/classify/{id}, POST /v1/classify — including replay-driven
+// inference, which posts through the latter); range reads are pure
+// reads and never republish, so polling a range cannot duplicate
+// events for subscribers.
 // Request bodies are capped (Options.MaxBodyBytes) — except the
 // streaming ingest, which is unbounded in length but caps each record —
 // and every request is tagged with an X-Request-Id, logged, counted and
@@ -490,7 +495,6 @@ func (s *Server) handleClassifyRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.observeClassify(len(preds), time.Since(t0))
-	s.publishPredictions(preds)
 	s.writeJSON(w, http.StatusOK, listEnvelope{
 		Items: paginate(preds, limit, offset),
 		Total: len(preds),
@@ -517,7 +521,6 @@ func (s *Server) classifyCursorPage(w http.ResponseWriter, r *http.Request, star
 			return
 		}
 		s.metrics.observeClassify(len(preds), time.Since(t0))
-		s.publishPredictions(preds)
 		env.Items = preds
 		if more {
 			last := jobs[len(jobs)-1]

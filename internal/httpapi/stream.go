@@ -230,12 +230,14 @@ func (s *Server) handleInsertStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePredictionStream is GET /v1/predictions/stream: every
-// classification the server produces, pushed as SSE events. Events
-// carry dense IDs; reconnecting with Last-Event-ID (header or
-// ?last_event_id=) resumes exactly where the client stopped while the
-// resume ring still covers the gap, and otherwise delivers an explicit
-// "reset" event so the client knows to re-sync via a cursor range
-// read. Slow consumers are disconnected (see predHub).
+// write-path classification (GET /v1/classify/{id}, POST /v1/classify)
+// pushed as SSE events. Range reads do not feed the stream — a client
+// polling GET /v1/classify?start=&end= never duplicates events for
+// subscribers. Events carry dense IDs; reconnecting with Last-Event-ID
+// (header or ?last_event_id=) resumes exactly where the client stopped
+// while the resume ring still covers the gap, and otherwise delivers
+// an explicit "reset" event so the client knows to re-sync via a
+// cursor range read. Slow consumers are disconnected (see predHub).
 func (s *Server) handlePredictionStream(w http.ResponseWriter, r *http.Request) {
 	afterID, err := parseLastEventID(r)
 	if err != nil {

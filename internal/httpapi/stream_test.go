@@ -247,24 +247,22 @@ func readSSE(t *testing.T, url string, lastEventID string, n int) []sseEvent {
 	return events
 }
 
-// classifySome triggers classifications (which the server publishes to
-// the prediction stream) and returns how many.
+// classifySome triggers write-path classifications via
+// GET /v1/classify/{id} (the route that publishes to the prediction
+// stream) and returns how many.
 func classifySome(t *testing.T, url string, lo, hi int) int {
 	t.Helper()
-	var ids []string
 	for i := lo; i < hi; i++ {
-		ids = append(ids, fmt.Sprintf("s%04d", i))
+		resp, err := http.Get(fmt.Sprintf("%s/v1/classify/s%04d", url, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify s%04d: status %d", i, resp.StatusCode)
+		}
 	}
-	resp, err := http.Get(fmt.Sprintf(
-		"%s/v1/classify?start=2024-01-01T00:00:00Z&end=2024-03-01T00:00:00Z&cursor=&limit=%d", url, hi-lo))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("classify status %d", resp.StatusCode)
-	}
-	return len(ids)
+	return hi - lo
 }
 
 // TestPredictionStreamLive: a subscriber receives every classification
@@ -275,10 +273,11 @@ func TestPredictionStreamLive(t *testing.T) {
 	// SSE read happens on the test goroutine so failures report cleanly.
 	go func() {
 		time.Sleep(150 * time.Millisecond)
-		resp, err := http.Get(srv.URL +
-			"/v1/classify?start=2024-01-01T00:00:00Z&end=2024-03-01T00:00:00Z&cursor=&limit=5")
-		if err == nil {
-			resp.Body.Close()
+		for i := 0; i < 5; i++ {
+			resp, err := http.Get(fmt.Sprintf("%s/v1/classify/s%04d", srv.URL, i))
+			if err == nil {
+				resp.Body.Close()
+			}
 		}
 	}()
 	events := readSSE(t, srv.URL, "", 5)
@@ -320,6 +319,48 @@ func TestPredictionStreamResume(t *testing.T) {
 		if events[i+1].id != want {
 			t.Fatalf("post-reset event %d id %q, want %q", i, events[i+1].id, want)
 		}
+	}
+}
+
+// TestRangeReadsDoNotPublish: GET /v1/classify range and cursor pages
+// are pure reads — polling them must not push duplicate events to
+// prediction-stream subscribers. Only the write path publishes.
+func TestRangeReadsDoNotPublish(t *testing.T) {
+	st := seedStore(t)
+	api := newAPI(t, st, nil, true, Options{})
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	for _, u := range []string{
+		"/v1/classify?start=2024-01-01T00:00:00Z&end=2024-03-01T00:00:00Z&limit=5",
+		"/v1/classify?start=2024-01-01T00:00:00Z&end=2024-03-01T00:00:00Z&cursor=&limit=5",
+	} {
+		resp, err := http.Get(srv.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", u, resp.StatusCode)
+		}
+	}
+	if n := api.hub.published.Load(); n != 0 {
+		t.Fatalf("range reads published %d stream events, want 0", n)
+	}
+	classifySome(t, srv.URL, 0, 2)
+	if n := api.hub.published.Load(); n != 2 {
+		t.Fatalf("write path published %d stream events, want 2", n)
+	}
+}
+
+// TestPredictionStreamHugeResumeID: an out-of-range numeric
+// Last-Event-ID (e.g. 2^63, which used to panic the backlog index
+// arithmetic) answers with a reset event, not a connection abort.
+func TestPredictionStreamHugeResumeID(t *testing.T) {
+	srv, _ := streamTestServer(t, Options{})
+	classifySome(t, srv.URL, 0, 1)
+	events := readSSE(t, srv.URL, "9223372036854775808", 1)
+	if events[0].event != "reset" {
+		t.Fatalf("first event %q, want reset", events[0].event)
 	}
 }
 
