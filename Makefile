@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt fuzz chaos stress crash replay-e2e check bench bench-all
+.PHONY: all build test race vet fmt fuzz chaos stress crash replay-e2e check bench bench-index bench-all
 
 all: check
 
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzTimeoutHeader$$ -fuzztime=$(FUZZTIME) ./internal/admission
 	$(GO) test -run=^$$ -fuzz=^FuzzWALFrame$$ -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run=^$$ -fuzz=^FuzzCursor$$ -fuzztime=$(FUZZTIME) ./internal/httpapi
+	$(GO) test -run=^$$ -fuzz=^FuzzIndexModel$$ -fuzztime=$(FUZZTIME) ./internal/ml/knn
 
 # Overload stress: drives the admission controller and the full HTTP
 # serving path through a 10x concurrency burst under the race detector
@@ -61,12 +62,18 @@ crash:
 replay-e2e:
 	$(GO) test -race -count=1 -run 'ReplayE2E' ./internal/replay
 
-check: build vet fmt race chaos stress crash fuzz replay-e2e
+check: build vet fmt race chaos stress crash fuzz replay-e2e bench-index
 
 # Serving-path perf trajectory: single classify hot/cold in the
 # embedding cache, 1000-job batch serial vs. all cores, full train.
 bench:
 	$(GO) run ./cmd/mcbound-bench -out BENCH_serving.json
+
+# Recall-gated index sweep: brute-force vs IVF classify latency and
+# measured recall at training-set scales ×1/×10/×100; exits 1 if
+# recall@k drops below 0.95 at any scale.
+bench-index:
+	$(GO) run ./cmd/mcbound-bench -scenario index -out BENCH_serving.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -1,0 +1,267 @@
+package main
+
+// The index scenario: brute-force vs IVF classify latency and measured
+// recall across training-set scales. Each scale generates a synthetic
+// trace with internal/workload (the application population grows with
+// the scale, and the unique-vector group count with it), labels it with
+// the roofline characterizer, encodes it, and trains two KNN
+// classifiers on identical data — one exact, one IVF-indexed. Reported
+// per scale: single-query classify p50/p99 for both paths, measured
+// recall@k of the index against the exact scan, and the p99 speedup.
+// The run exits 1 if recall drops below indexRecallGate at any scale —
+// the sub-linear claim is regression-gated, not asserted.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"mcbound/internal/encode"
+	"mcbound/internal/job"
+	"mcbound/internal/linalg"
+	"mcbound/internal/ml"
+	"mcbound/internal/ml/knn"
+	"mcbound/internal/roofline"
+	"mcbound/internal/workload"
+)
+
+// indexRecallGate is the accuracy floor of the IVF path: measured
+// recall@k against brute force must not drop below it at any scale.
+const indexRecallGate = 0.95
+
+// indexScaleResult is one row of the sweep in BENCH_serving.json.
+type indexScaleResult struct {
+	Scale     int `json:"scale"`
+	TrainJobs int `json:"train_jobs"`
+	Groups    int `json:"groups"`
+	Clusters  int `json:"clusters"`
+	NProbe    int `json:"nprobe"`
+
+	BruteP50Ns int64 `json:"brute_p50_ns"`
+	BruteP99Ns int64 `json:"brute_p99_ns"`
+	IVFP50Ns   int64 `json:"ivf_p50_ns"`
+	IVFP99Ns   int64 `json:"ivf_p99_ns"`
+
+	Recall     float64 `json:"recall"`
+	SpeedupP50 float64 `json:"speedup_p50"`
+	SpeedupP99 float64 `json:"speedup_p99"`
+}
+
+// benchIndex sweeps training-set size ×1/×10/×100 and fails the whole
+// bench run on a recall-gate violation.
+func benchIndex(rep *report) error {
+	rep.Index = rep.Index[:0]
+	for _, scale := range []int{1, 10, 100} {
+		fmt.Printf("index scenario: scale ×%d...\n", scale)
+		res, err := benchIndexScale(scale)
+		if err != nil {
+			return fmt.Errorf("index scale ×%d: %w", scale, err)
+		}
+		rep.Index = append(rep.Index, res)
+		fmt.Printf("  ×%d: %d jobs → %d groups, %d clusters; brute p50=%s p99=%s, ivf p50=%s p99=%s, recall=%.4f, p99 speedup ×%.1f\n",
+			res.Scale, res.TrainJobs, res.Groups, res.Clusters,
+			time.Duration(res.BruteP50Ns), time.Duration(res.BruteP99Ns),
+			time.Duration(res.IVFP50Ns), time.Duration(res.IVFP99Ns),
+			res.Recall, res.SpeedupP99)
+		if res.Recall < indexRecallGate {
+			return fmt.Errorf("recall gate failed at scale ×%d: %.4f < %.2f",
+				scale, res.Recall, indexRecallGate)
+		}
+	}
+	return nil
+}
+
+// indexTrace generates and labels the synthetic training window for one
+// scale: a 3-week trace whose application population (and therefore the
+// trained group count) grows with the scale factor.
+func indexTrace(scale int) ([]*job.Job, error) {
+	cfg := workload.DefaultConfig()
+	cfg.Start = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	cfg.End = time.Date(2024, 1, 22, 0, 0, 0, 0, time.UTC)
+	cfg.MaintenanceStart, cfg.MaintenanceEnd = time.Time{}, time.Time{}
+	cfg.JobsPerDay = 55 * scale
+	cfg.Users = 30 * scale
+	cfg.InitialApps = 140 * scale
+	cfg.AppBirthsPerDay = float64(scale)
+	cfg.BatchMean = 3
+	gen := workload.NewGenerator(cfg, uint64(1000+scale))
+	jobs, err := gen.Generate()
+	if err != nil {
+		return nil, err
+	}
+	char := roofline.NewCharacterizer(roofline.ModelFor(cfg.Machine))
+	char.GenerateLabels(jobs)
+	labeled := jobs[:0]
+	for _, j := range jobs {
+		if j.TrueLabel != job.Unknown {
+			labeled = append(labeled, j)
+		}
+	}
+	return labeled, nil
+}
+
+func benchIndexScale(scale int) (indexScaleResult, error) {
+	var res indexScaleResult
+	res.Scale = scale
+
+	jobs, err := indexTrace(scale)
+	if err != nil {
+		return res, err
+	}
+	res.TrainJobs = len(jobs)
+	enc := encode.NewEncoder(nil, nil)
+	x := enc.Encode(jobs)
+	y := make([]job.Label, len(jobs))
+	for i, j := range jobs {
+		y[i] = j.TrueLabel
+	}
+
+	const k = 5
+	brute := knn.New(knn.Config{K: k, P: 2, Index: knn.IndexConfig{Mode: knn.IndexOff}})
+	ivfC := knn.New(knn.Config{K: k, P: 2, Index: knn.IndexConfig{Mode: knn.IndexOn, Seed: 17}})
+	if err := brute.Train(x, y); err != nil {
+		return res, err
+	}
+	if err := ivfC.Train(x, y); err != nil {
+		return res, err
+	}
+	res.Groups = brute.Groups()
+	info := ivfC.IndexInfo()
+	if !info.Enabled {
+		return res, fmt.Errorf("indexed classifier built no index (%d groups)", res.Groups)
+	}
+	res.Clusters, res.NProbe = info.Clusters, info.NProbe
+
+	// Query set: a spread of real trace encodings (every trace job is a
+	// plausible future submission), copied out so the trace, the encoder
+	// cache, and the raw encoding matrix can be released before the
+	// latency runs — at ×100 they hold hundreds of MB whose GC scans
+	// would otherwise dominate the measured tail.
+	const nq = 256
+	queries := make([][]float32, 0, nq)
+	for i := 0; i < nq; i++ {
+		q := x[(i*7919)%len(x)]
+		queries = append(queries, append([]float32(nil), q...))
+	}
+	jobs, x, y = nil, nil, nil
+	runtime.GC()
+
+	// Measured recall@k: the IVF search's group ids against an exact
+	// top-k scan over the same trained matrix.
+	index := ivfC.VectorIndex()
+	data, dim := ivfC.Matrix()
+	var hits, total int
+	var dst []ml.Candidate
+	for _, q := range queries {
+		dst = index.Search(q, k, dst)
+		got := map[int]bool{}
+		for _, c := range dst {
+			got[c.ID] = true
+		}
+		for _, id := range bruteTopK(data, dim, q, k) {
+			total++
+			if got[id] {
+				hits++
+			}
+		}
+	}
+	res.Recall = float64(hits) / float64(total)
+
+	res.BruteP50Ns, res.BruteP99Ns, err = classifyQuantiles(brute, queries)
+	if err != nil {
+		return res, err
+	}
+	res.IVFP50Ns, res.IVFP99Ns, err = classifyQuantiles(ivfC, queries)
+	if err != nil {
+		return res, err
+	}
+	if res.IVFP50Ns > 0 {
+		res.SpeedupP50 = float64(res.BruteP50Ns) / float64(res.IVFP50Ns)
+	}
+	if res.IVFP99Ns > 0 {
+		res.SpeedupP99 = float64(res.BruteP99Ns) / float64(res.IVFP99Ns)
+	}
+	return res, nil
+}
+
+// classifyQuantiles measures single-query Predict latency over the
+// query set and returns its p50/p99. Each query is timed three times
+// keeping the minimum — the percentiles characterize the algorithmic
+// cost distribution across queries, not scheduler or GC jitter, which
+// would hit both classifiers' tails incomparably.
+func classifyQuantiles(c *knn.Classifier, queries [][]float32) (p50, p99 int64, err error) {
+	one := make([][]float32, 1)
+	for _, q := range queries[:16] { // warm-up
+		one[0] = q
+		if _, err := c.Predict(one); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.GC()
+	lat := make([]int64, 0, len(queries))
+	for _, q := range queries {
+		one[0] = q
+		best := int64(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			if _, err := c.Predict(one); err != nil {
+				return 0, 0, err
+			}
+			if ns := time.Since(t0).Nanoseconds(); ns < best {
+				best = ns
+			}
+		}
+		lat = append(lat, best)
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	return quantile(lat, 0.50), quantile(lat, 0.99), nil
+}
+
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// bruteTopK returns the row ids of the k nearest rows of q under exact
+// squared Euclidean distance (ties to the lower id, matching the
+// classifier's stable bounded insertion).
+func bruteTopK(data []float32, dim int, q []float32, k int) []int {
+	type nd struct {
+		d  float64
+		id int
+	}
+	n := len(data) / dim
+	if k > n {
+		k = n
+	}
+	top := make([]nd, 0, k)
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		d := linalg.SqEuclidean(q, data[i*dim:(i+1)*dim])
+		if len(top) == k && d >= worst {
+			continue
+		}
+		pos := len(top)
+		if pos < k {
+			top = append(top, nd{})
+		} else {
+			pos--
+		}
+		for pos > 0 && top[pos-1].d > d {
+			top[pos] = top[pos-1]
+			pos--
+		}
+		top[pos] = nd{d: d, id: i}
+		worst = top[len(top)-1].d
+	}
+	out := make([]int, len(top))
+	for i, t := range top {
+		out[i] = t.id
+	}
+	return out
+}

@@ -97,18 +97,62 @@ type report struct {
 	StreamIngestNsPerRecord int64 `json:"stream_ingest_ns_per_record"`
 	SSEFanoutSubscribers    int   `json:"sse_fanout_subscribers"`
 	SSEFanoutNsPerEvent     int64 `json:"sse_fanout_ns_per_event"`
+
+	// Index-accelerated classification: brute-force vs IVF single-query
+	// classify latency and measured recall across training-set scales
+	// (the run aborts with exit 1 if any scale's recall drops below the
+	// 0.95 gate).
+	Index []indexScaleResult `json:"index,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_serving.json", "output JSON path")
+	scenario := flag.String("scenario", "all", `scenarios to run: "serving", "index", or "all"`)
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *scenario); err != nil {
 		fmt.Fprintln(os.Stderr, "mcbound-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+func run(out, scenario string) error {
+	if scenario != "all" && scenario != "serving" && scenario != "index" {
+		return fmt.Errorf(`unknown -scenario %q (want "serving", "index", or "all")`, scenario)
+	}
+	// A partial run merges into the prior report so the untouched
+	// scenario's numbers survive.
+	var rep report
+	if prev, err := os.ReadFile(out); err == nil {
+		_ = json.Unmarshal(prev, &rep)
+	}
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
+	rep.GoVersion = runtime.Version()
+
+	if scenario != "index" {
+		if err := runServing(&rep); err != nil {
+			return err
+		}
+	}
+	if scenario != "serving" {
+		if err := benchIndex(&rep); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runServing(rep *report) error {
 	st, err := servingStore()
 	if err != nil {
 		return err
@@ -122,13 +166,7 @@ func run(out string) error {
 	if _, err := fw.Train(ctx, trainAt); err != nil {
 		return err
 	}
-
-	rep := report{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-		TraceJobs:  st.Len(),
-	}
+	rep.TraceJobs = st.Len()
 
 	one := benchBatch(1)
 	batch := benchBatch(1000)
@@ -195,17 +233,17 @@ func run(out string) error {
 	})
 
 	fmt.Println("running synthetic 10x overload burst...")
-	if err := benchOverload(&rep); err != nil {
+	if err := benchOverload(rep); err != nil {
 		return err
 	}
 
 	fmt.Println("benchmarking WAL append per fsync policy...")
-	if err := benchWAL(&rep); err != nil {
+	if err := benchWAL(rep); err != nil {
 		return err
 	}
 
 	fmt.Println("benchmarking streaming surface (replay, NDJSON ingest, SSE fan-out)...")
-	if err := benchStream(&rep); err != nil {
+	if err := benchStream(rep); err != nil {
 		return err
 	}
 
@@ -216,16 +254,8 @@ func run(out string) error {
 		rep.BatchSpeedup = float64(rep.ClassifyBatch1kW1Ns) / float64(rep.ClassifyBatch1kWMxNs)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s: hot=%dns cold=%dns (cache ×%.1f), batch1k w1=%dns wmax=%dns (×%.2f), train=%dns\n",
-		out, rep.ClassifySingleHotNs, rep.ClassifySingleColdNs, rep.CacheSpeedup,
+	fmt.Printf("serving: hot=%dns cold=%dns (cache ×%.1f), batch1k w1=%dns wmax=%dns (×%.2f), train=%dns\n",
+		rep.ClassifySingleHotNs, rep.ClassifySingleColdNs, rep.CacheSpeedup,
 		rep.ClassifyBatch1kW1Ns, rep.ClassifyBatch1kWMxNs, rep.BatchSpeedup, rep.TrainNs)
 	fmt.Printf("admission: fast path %dns; overload offered=%d admitted=%d shed(queue_full)=%d shed(doomed)=%d (reconciled)\n",
 		rep.AdmitReleaseNs, rep.OverloadOffered, rep.OverloadAdmitted,

@@ -34,6 +34,7 @@ import (
 	"mcbound/internal/fetch/chaos"
 	"mcbound/internal/httpapi"
 	"mcbound/internal/job"
+	"mcbound/internal/ml/knn"
 	"mcbound/internal/replay"
 	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
@@ -47,6 +48,8 @@ type options struct {
 	scale        float64
 	seed         uint64
 	model        string
+	index        string
+	nprobe       int
 	alpha, beta  int
 	modelDir     string
 	port         int
@@ -94,6 +97,8 @@ func main() {
 	flag.Float64Var(&o.scale, "scale", 0.01, "synthetic trace scale (with -generate)")
 	flag.Uint64Var(&o.seed, "seed", 7, "synthetic trace seed (with -generate)")
 	flag.StringVar(&o.model, "model", "rf", "classification model: rf or knn")
+	flag.StringVar(&o.index, "index", "auto", "KNN IVF index switch: auto (build above the group threshold), on, off")
+	flag.IntVar(&o.nprobe, "nprobe", 0, "IVF cells scanned per query (0 = index default)")
 	flag.IntVar(&o.alpha, "alpha", 15, "training window in days")
 	flag.IntVar(&o.beta, "beta", 1, "retraining period in days")
 	flag.StringVar(&o.modelDir, "model-dir", "", "directory for versioned model files (empty = no persistence)")
@@ -219,9 +224,14 @@ func run(o options) error {
 	cfg.Model = core.ModelKind(o.model)
 	cfg.Alpha, cfg.Beta = o.alpha, o.beta
 	cfg.ModelDir = o.modelDir
+	cfg.KNN.Index.Mode = knn.IndexMode(o.index)
+	cfg.KNN.Index.NProbe = o.nprobe
 	fw, err := core.New(cfg, resilient)
 	if err != nil {
 		return err
+	}
+	if err := fw.SetIndexOptions(o.index, o.nprobe); err != nil {
+		return fmt.Errorf("bad -index/-nprobe: %w", err)
 	}
 	fw.Encoder().SetCacheCapacity(o.encodeCache)
 

@@ -23,18 +23,20 @@ func main() {
 	var (
 		server  = flag.String("server", "http://localhost:8080", "MCBound backend base URL")
 		now     = flag.String("now", "", "training reference instant (RFC 3339); empty = server wall clock")
+		index   = flag.String("index", "", "override the KNN IVF index mode for this and future trains: auto, on, off (empty = leave server config)")
+		nprobe  = flag.Int("nprobe", 0, "IVF cells scanned per query; also applied to the live model (0 = leave)")
 		timeout = flag.Duration("timeout", 10*time.Minute, "request timeout")
 	)
 	flag.Parse()
 
-	if err := run(*server, *now, *timeout); err != nil {
+	if err := run(*server, *now, *index, *nprobe, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcbound-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, now string, timeout time.Duration) error {
-	body, err := json.Marshal(map[string]string{"now": now})
+func run(server, now, index string, nprobe int, timeout time.Duration) error {
+	body, err := json.Marshal(map[string]any{"now": now, "index": index, "nprobe": nprobe})
 	if err != nil {
 		return err
 	}

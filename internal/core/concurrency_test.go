@@ -12,6 +12,7 @@ import (
 
 	"mcbound/internal/job"
 	"mcbound/internal/ml"
+	"mcbound/internal/ml/knn"
 )
 
 // raceModel is a Classifier instrumented to detect hot-swap invariant
@@ -182,6 +183,129 @@ func TestConcurrentTrainClassifyStress(t *testing.T) {
 	// +1: New builds one throwaway instance to validate the config.
 	if len(models) > trainers*trainsPer+1 {
 		t.Errorf("built %d models for %d triggers: single-flight leaked", len(models), trainers*trainsPer)
+	}
+}
+
+// TestConcurrentIndexedModelStress is the indexed-model variant of the
+// hot-swap stress: real KNN classifiers carrying an IVF index are
+// trained and swapped while classifiers predict through the index and
+// another goroutine flips the live nprobe knob via SetIndexOptions. Run
+// under -race (make check does). Invariants: predictions are always a
+// definite class from a consistent snapshot, versions never move
+// backwards, and the final served model actually carries an index.
+func TestConcurrentIndexedModelStress(t *testing.T) {
+	st := seedStore(t)
+	cfg := DefaultConfig()
+	cfg.ModelDir = t.TempDir()
+	cfg.ModelFactory = func() (ml.Classifier, error) {
+		return knn.New(knn.Config{K: 3, P: 2, Index: knn.IndexConfig{
+			Mode:      knn.IndexOn,
+			NClusters: 2,
+			NProbe:    1,
+			Seed:      42,
+		}}), nil
+	}
+	fw := newFramework(t, cfg, st)
+	ctx := context.Background()
+	trainAt := time.Date(2024, 1, 20, 0, 0, 0, 0, time.UTC)
+	if _, err := fw.Train(ctx, trainAt); err != nil {
+		t.Fatal(err)
+	}
+	if !fw.IndexInfo().Enabled {
+		t.Fatal("initial model carries no index")
+	}
+
+	jobs := make([]*job.Job, 0, 4)
+	for _, id := range []string{"c00000", "c00001", "c00002", "c00003"} {
+		j, err := st.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	const (
+		trainers      = 2
+		trainsPer     = 10
+		classifiers   = 6
+		classifiesPer = 200
+		tuners        = 2
+		tunesPer      = 100
+	)
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+	)
+	for m := 0; m < trainers; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < trainsPer; i++ {
+				if _, err := fw.Train(ctx, trainAt); err != nil {
+					t.Errorf("train: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for n := 0; n < tuners; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < tunesPer; i++ {
+				if err := fw.SetIndexOptions("", 1+(i+n)%4); err != nil {
+					t.Errorf("set index options: %v", err)
+					return
+				}
+			}
+		}(n)
+	}
+	for n := 0; n < classifiers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			lastVersion := -1
+			for i := 0; i < classifiesPer; i++ {
+				preds, err := fw.ClassifyJobs(ctx, jobs)
+				if err != nil {
+					t.Errorf("classify: %v", err)
+					return
+				}
+				v := preds[0].ModelVersion
+				for _, p := range preds {
+					if p.ModelVersion != v {
+						t.Errorf("torn batch: versions %d and %d in one Classify", v, p.ModelVersion)
+						return
+					}
+					if p.Label != job.MemoryBound && p.Label != job.ComputeBound {
+						t.Errorf("indefinite prediction %v from indexed model", p.Label)
+						return
+					}
+				}
+				if v < lastVersion {
+					t.Errorf("model version went backwards: %d after %d", v, lastVersion)
+					return
+				}
+				lastVersion = v
+				// The info snapshot must always be internally consistent,
+				// even mid-swap or mid-tune.
+				if info := fw.IndexInfo(); info.Enabled {
+					if info.Kind != "ivf" || info.Clusters < 1 || info.NProbe < 1 || info.NProbe > info.Clusters {
+						t.Errorf("inconsistent IndexInfo: %+v", info)
+						return
+					}
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if !fw.IndexInfo().Enabled {
+		t.Error("final served model carries no index")
 	}
 }
 

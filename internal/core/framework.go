@@ -133,6 +133,18 @@ type Framework struct {
 	inflightN  atomic.Int32 // 0 or 1; sampled by the train-inflight gauge
 	coalescedN atomic.Int64 // triggers absorbed by an in-flight train
 	degradedN  atomic.Int64 // predictions served by the lookup fallback
+
+	// indexOv holds runtime overrides of the KNN index switch (set via
+	// /v1/train or the -index/-nprobe flags); nil means the deployment
+	// config applies unchanged. Future trains merge it into their model
+	// config; the nprobe part is also applied to the live model at once.
+	indexOv atomic.Pointer[indexOverride]
+}
+
+// indexOverride is one immutable override snapshot.
+type indexOverride struct {
+	mode   knn.IndexMode // "" = leave configured mode
+	nprobe int           // 0 = leave configured nprobe
 }
 
 // New builds a Framework over a jobs-data-storage backend.
@@ -189,6 +201,64 @@ func buildModel(cfg Config) (ml.Classifier, error) {
 
 // Config returns the deployment configuration.
 func (f *Framework) Config() Config { return f.cfg }
+
+// SetIndexOptions overrides the KNN index switch at runtime: mode must
+// be "", "auto", "on" or "off" ("" leaves the configured mode); nprobe
+// adjusts the cells-scanned-per-query knob (0 leaves it). The mode takes
+// effect on the next Training Workflow; nprobe is additionally applied
+// to the currently served model immediately when it carries an index.
+func (f *Framework) SetIndexOptions(mode string, nprobe int) error {
+	switch knn.IndexMode(mode) {
+	case "", knn.IndexAuto, knn.IndexOn, knn.IndexOff:
+	default:
+		return fmt.Errorf("core: index mode %q (want auto, on or off)", mode)
+	}
+	if nprobe < 0 {
+		return fmt.Errorf("core: nprobe %d must be non-negative", nprobe)
+	}
+	prev := f.indexOv.Load()
+	ov := indexOverride{}
+	if prev != nil {
+		ov = *prev
+	}
+	if mode != "" {
+		ov.mode = knn.IndexMode(mode)
+	}
+	if nprobe > 0 {
+		ov.nprobe = nprobe
+	}
+	f.indexOv.Store(&ov)
+	if nprobe > 0 {
+		if ix, ok := f.state.Load().model.(ml.Indexed); ok {
+			ix.SetNProbe(nprobe)
+		}
+	}
+	return nil
+}
+
+// IndexInfo snapshots the served model's search structure (zero value
+// when the model is brute-force or not index-capable).
+func (f *Framework) IndexInfo() ml.IndexInfo {
+	if ix, ok := f.state.Load().model.(ml.Indexed); ok {
+		return ix.IndexInfo()
+	}
+	return ml.IndexInfo{}
+}
+
+// modelConfig merges the runtime index override into the deployment
+// config for the next model build.
+func (f *Framework) modelConfig() Config {
+	cfg := f.cfg
+	if ov := f.indexOv.Load(); ov != nil {
+		if ov.mode != "" {
+			cfg.KNN.Index.Mode = ov.mode
+		}
+		if ov.nprobe > 0 {
+			cfg.KNN.Index.NProbe = ov.nprobe
+		}
+	}
+	return cfg
+}
 
 // Characterizer exposes the Job Characterizer (for analysis use).
 func (f *Framework) Characterizer() *roofline.Characterizer { return f.characterizer }
@@ -308,7 +378,7 @@ func (f *Framework) train(ctx context.Context, now time.Time) (*TrainReport, err
 		}
 	}
 
-	model, err := buildModel(f.cfg) // fresh instance per trigger
+	model, err := buildModel(f.modelConfig()) // fresh instance per trigger
 	if err != nil {
 		f.publishFallback(cur, fallback)
 		return rep, err

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mcbound/internal/core"
+	"mcbound/internal/ml/ivf"
 	"mcbound/internal/replay"
 	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
@@ -57,6 +58,23 @@ func newAppMetrics(reg *telemetry.Registry, storeLen func() int, fw *core.Framew
 	reg.GaugeFunc("mcbound_degraded_predictions_total",
 		"Predictions answered by the lookup fallback instead of the vector model.",
 		nil, func() float64 { return float64(fw.DegradedPredictions()) })
+	// IVF index counters read the ivf package's process-wide totals,
+	// which stay monotone across model hot-swaps (a per-index counter
+	// would reset on every retrain).
+	reg.CounterFunc("mcbound_index_probes_total",
+		"IVF cluster scans issued by index-accelerated classification.", nil,
+		ivf.TotalProbes)
+	reg.CounterFunc("mcbound_index_rerank_candidates_total",
+		"Candidates re-ranked with exact distances by index-accelerated classification.", nil,
+		ivf.TotalReranked)
+	reg.GaugeFunc("mcbound_index_enabled",
+		"1 while the served model carries an IVF index, else 0.", nil,
+		func() float64 {
+			if fw.IndexInfo().Enabled {
+				return 1
+			}
+			return 0
+		})
 	enc := fw.Encoder()
 	reg.GaugeFunc("mcbound_encode_cache_hits", "Embedding cache hits since start.",
 		nil, func() float64 { return float64(enc.CacheStats().Hits) })

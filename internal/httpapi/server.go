@@ -351,6 +351,7 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 		"trained_at": trainedAt,
 		"alpha_days": s.fw.Config().Alpha,
 		"beta_days":  s.fw.Config().Beta,
+		"index":      s.fw.IndexInfo(),
 	})
 }
 
@@ -358,6 +359,12 @@ type trainRequest struct {
 	// Now is the reference instant for the α-day window; empty means
 	// the current wall-clock time.
 	Now string `json:"now,omitempty"`
+	// Index overrides the KNN index mode ("auto", "on", "off") for this
+	// and future trains; empty leaves the deployment config.
+	Index string `json:"index,omitempty"`
+	// NProbe adjusts the index's cells-scanned-per-query knob; it also
+	// applies immediately to the currently served model. 0 leaves it.
+	NProbe int `json:"nprobe,omitempty"`
 }
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
@@ -374,6 +381,12 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		now = t
+	}
+	if req.Index != "" || req.NProbe != 0 {
+		if err := s.fw.SetIndexOptions(req.Index, req.NProbe); err != nil {
+			s.writeError(w, badRequest(err))
+			return
+		}
 	}
 	rep, err := s.fw.Train(r.Context(), now)
 	s.metrics.observeTrain(rep, err)

@@ -303,6 +303,64 @@ func TestTrainEndpoint(t *testing.T) {
 	}
 }
 
+// TestTrainIndexOptions drives the index switch end to end over HTTP:
+// an invalid mode is a 400, and a train with {"index":"on"} publishes a
+// KNN model whose /v1/model info reports the IVF structure.
+func TestTrainIndexOptions(t *testing.T) {
+	st := seedStore(t)
+	cfg := core.DefaultConfig()
+	cfg.Model = core.ModelKNN
+	fw, err := core.New(cfg, fetch.StoreBackend{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(fw, st, log.New(io.Discard, "", 0), Options{}))
+	defer srv.Close()
+
+	// Invalid mode → 400 before any training runs.
+	resp, err := http.Post(srv.URL+"/v1/train", "application/json",
+		bytes.NewReader([]byte(`{"index":"bogus"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorBody
+	json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || e.Code != "bad_request" {
+		t.Fatalf("bad index mode: status %d code %q", resp.StatusCode, e.Code)
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"now": "2024-01-20T00:00:00Z", "index": "on", "nprobe": 1,
+	})
+	resp, err = http.Post(srv.URL+"/v1/train", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train status %d", resp.StatusCode)
+	}
+
+	var info struct {
+		Model string `json:"model"`
+		Index struct {
+			Enabled  bool   `json:"enabled"`
+			Kind     string `json:"kind"`
+			Clusters int    `json:"clusters"`
+			NProbe   int    `json:"nprobe"`
+		} `json:"index"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/model", &info); code != http.StatusOK {
+		t.Fatalf("model status %d", code)
+	}
+	if info.Model != "knn" || !info.Index.Enabled || info.Index.Kind != "ivf" ||
+		info.Index.Clusters < 1 || info.Index.NProbe < 1 {
+		t.Errorf("model info = %+v", info)
+	}
+}
+
 func TestInsertEndpoint(t *testing.T) {
 	srv, st := testServer(t)
 	before := st.Len()

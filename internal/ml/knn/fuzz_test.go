@@ -1,0 +1,114 @@
+package knn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mcbound/internal/job"
+)
+
+// fuzzSeedModel trains a small deterministic model for seeding the
+// corpus: 24 distinct vectors over a 4-dim grid, alternating labels.
+func fuzzSeedModel(mode IndexMode) *Classifier {
+	c := New(Config{K: 3, P: 2, Index: IndexConfig{Mode: mode, NClusters: 4, Seed: 1}})
+	var x [][]float32
+	var y []job.Label
+	for i := 0; i < 24; i++ {
+		x = append(x, []float32{float32(i), float32(i % 5), float32(i % 3), float32(-i)})
+		if i%2 == 0 {
+			y = append(y, job.MemoryBound)
+		} else {
+			y = append(y, job.ComputeBound)
+		}
+	}
+	if err := c.Train(x, y); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FuzzIndexModel drives UnmarshalBinary with arbitrary bytes: any input
+// either loads a model that re-marshals to the exact same bytes, or
+// fails with the typed ErrCorruptModel — never a panic, never an
+// unbounded allocation. Mirrors FuzzWALFrame's contract: a single
+// flipped bit anywhere in a valid indexed (MCBKNN03) model must be
+// caught by the checksum or a structural check.
+func FuzzIndexModel(f *testing.F) {
+	bruteBytes, err := fuzzSeedModel(IndexOff).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	indexedBytes, err := fuzzSeedModel(IndexOn).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(bruteBytes)
+	f.Add(indexedBytes)
+	f.Add([]byte{})
+	f.Add([]byte(marshalMagic))
+	f.Add([]byte(marshalMagicV3))
+	// The header shape of the historical overflow bug: groups and dim
+	// chosen so groups*dim*4 wraps int64.
+	f.Add(legacyHeader(5, 2, 1<<32, 1<<33, 1<<32, nil))
+	f.Add(legacyHeader(5, 2, 1, 1<<62, 1<<62, nil))
+	f.Add(indexedBytes[:len(indexedBytes)/2])
+	corrupt := append([]byte(nil), indexedBytes...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New(DefaultConfig())
+		if err := c.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, ErrCorruptModel) {
+				t.Fatalf("untyped unmarshal error: %v", err)
+			}
+		} else {
+			// Accepted input must be a fixed point of the codec.
+			again, err := c.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-marshal of accepted model failed: %v", err)
+			}
+			if !bytes.Equal(again, data) {
+				t.Fatalf("accepted model does not re-marshal to its input (%d -> %d bytes)", len(data), len(again))
+			}
+		}
+
+		// A single flipped bit anywhere in a valid indexed model must be
+		// rejected (the crc32 covers everything after the magic+checksum,
+		// and those two fields are themselves checked).
+		if len(data) > 0 {
+			mut := append([]byte(nil), indexedBytes...)
+			i := (int(data[0]) | int(data[len(data)-1])<<8) % len(mut)
+			mut[i] ^= 1 << (data[0] % 8)
+			if err := New(DefaultConfig()).UnmarshalBinary(mut); err == nil {
+				t.Fatalf("bit flip at byte %d survived unmarshal", i)
+			} else if !errors.Is(err, ErrCorruptModel) {
+				t.Fatalf("bit flip at byte %d: untyped error %v", i, err)
+			}
+		}
+	})
+}
+
+// TestIndexModelEveryBitFlip runs the flip check exhaustively (the fuzz
+// target samples it): all 8·len bit positions of a valid MCBKNN03 model
+// must be rejected when flipped.
+func TestIndexModelEveryBitFlip(t *testing.T) {
+	valid, err := fuzzSeedModel(IndexOn).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := make([]byte, len(valid))
+	for i := range valid {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, valid)
+			mut[i] ^= 1 << bit
+			if err := New(DefaultConfig()).UnmarshalBinary(mut); err == nil {
+				t.Fatalf("flip of byte %d bit %d accepted", i, bit)
+			} else if !errors.Is(err, ErrCorruptModel) {
+				t.Fatalf("flip of byte %d bit %d: untyped error %v", i, bit, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package knn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcbound/internal/job"
+	"mcbound/internal/stats"
+)
+
+// trainSet builds rows unique training vectors of dim float32s with
+// continuous random values (ties between distinct vectors have measure
+// zero, which the exactness property below depends on) and random
+// labels, deterministic in seed.
+func trainSet(rows, dim int, seed uint64) ([][]float32, []job.Label) {
+	rng := stats.NewRNG(seed)
+	x := make([][]float32, rows)
+	y := make([]job.Label, rows)
+	for i := range x {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(rng.Float64()*20 - 10)
+		}
+		x[i] = v
+		if rng.Float64() < 0.5 {
+			y[i] = job.MemoryBound
+		} else {
+			y[i] = job.ComputeBound
+		}
+	}
+	return x, y
+}
+
+// TestIndexedVoteIdenticalToBrute is the exactness property: with
+// nprobe == nclusters and a rerank pool covering every group, the IVF
+// path scans and re-ranks exactly the same candidates as brute force,
+// so predictions must be identical on random (tie-free) data.
+func TestIndexedVoteIdenticalToBrute(t *testing.T) {
+	prop := func(seed uint64) bool {
+		const rows, dim, nclusters = 160, 8, 7
+		x, y := trainSet(rows, dim, seed)
+
+		brute := New(Config{K: 5, P: 2, Index: IndexConfig{Mode: IndexOff}})
+		indexed := New(Config{K: 5, P: 2, Index: IndexConfig{
+			Mode:      IndexOn,
+			NClusters: nclusters,
+			NProbe:    nclusters, // probe everything …
+			Rerank:    rows,      // … and re-rank everything: exact by construction
+			Seed:      seed,
+		}})
+		if err := brute.Train(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := indexed.Train(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if indexed.VectorIndex() == nil {
+			t.Fatal("IndexOn did not build an index")
+		}
+
+		queries, _ := trainSet(60, dim, seed^0xabcdef)
+		want, err := brute.Predict(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := indexed.Predict(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("seed %d query %d: indexed %v, brute %v", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantizedMatchesExactOnSeparatedClusters checks the approximate
+// regime: at default probe/rerank knobs on well-separated label
+// clusters, the int8+rerank path must agree with exact predictions.
+func TestQuantizedMatchesExactOnSeparatedClusters(t *testing.T) {
+	const rows, dim = 600, 12
+	rng := stats.NewRNG(99)
+	// Two label regions far apart relative to the jitter.
+	x := make([][]float32, rows)
+	y := make([]job.Label, rows)
+	for i := range x {
+		v := make([]float32, dim)
+		center := float32(-40)
+		y[i] = job.MemoryBound
+		if i%2 == 1 {
+			center = 40
+			y[i] = job.ComputeBound
+		}
+		for d := range v {
+			v[d] = center + float32(rng.Norm())
+		}
+		x[i] = v
+	}
+
+	brute := New(Config{K: 5, P: 2, Index: IndexConfig{Mode: IndexOff}})
+	indexed := New(Config{K: 5, P: 2, Index: IndexConfig{Mode: IndexOn, Seed: 7}})
+	if err := brute.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := indexed.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := x[:200]
+	want, err := brute.Predict(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := indexed.Predict(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: indexed %v, exact %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAutoModeThreshold pins the config switch: auto builds the index
+// only at MinGroups and above, off never builds, on always does.
+func TestAutoModeThreshold(t *testing.T) {
+	x, y := trainSet(50, 6, 1)
+	cases := []struct {
+		name string
+		cfg  IndexConfig
+		want bool
+	}{
+		{"auto below threshold", IndexConfig{MinGroups: 51}, false},
+		{"auto at threshold", IndexConfig{MinGroups: 50}, true},
+		{"off", IndexConfig{Mode: IndexOff, MinGroups: 1}, false},
+		{"on", IndexConfig{Mode: IndexOn}, true},
+	}
+	for _, tc := range cases {
+		c := New(Config{K: 3, P: 2, Index: tc.cfg})
+		if err := c.Train(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.VectorIndex() != nil; got != tc.want {
+			t.Errorf("%s: index built = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := c.IndexInfo().Enabled; got != tc.want {
+			t.Errorf("%s: IndexInfo().Enabled = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// Non-Euclidean metrics are never indexed.
+	c := New(Config{K: 3, P: 1, Index: IndexConfig{Mode: IndexOn}})
+	if err := c.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if c.VectorIndex() != nil {
+		t.Error("P=1 model built an index")
+	}
+}
+
+func TestSetNProbeOnLiveModel(t *testing.T) {
+	x, y := trainSet(100, 6, 2)
+	c := New(Config{K: 3, P: 2, Index: IndexConfig{Mode: IndexOn, NClusters: 8, Seed: 3}})
+	if err := c.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	c.SetNProbe(8)
+	if got := c.IndexInfo().NProbe; got != 8 {
+		t.Fatalf("NProbe = %d, want 8", got)
+	}
+	// No-op on a brute-force model.
+	b := New(Config{K: 3, P: 2, Index: IndexConfig{Mode: IndexOff}})
+	if err := b.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	b.SetNProbe(4) // must not panic
+	if b.IndexInfo().Enabled {
+		t.Fatal("brute model reports an index")
+	}
+}
+
+// TestMarshalRoundTripBitIdentical is the serialization property for
+// both formats: marshal → unmarshal → marshal must reproduce the exact
+// bytes, and the restored model must predict identically.
+func TestMarshalRoundTripBitIdentical(t *testing.T) {
+	prop := func(seed uint64, indexed bool) bool {
+		x, y := trainSet(120, 7, seed)
+		mode := IndexOff
+		if indexed {
+			mode = IndexOn
+		}
+		c := New(Config{K: 5, P: 2, Index: IndexConfig{Mode: mode, NClusters: 6, Seed: seed}})
+		if err := c.Train(x, y); err != nil {
+			t.Fatal(err)
+		}
+		first, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMagic := marshalMagic
+		if indexed {
+			wantMagic = marshalMagicV3
+		}
+		if string(first[:8]) != wantMagic {
+			t.Fatalf("magic %q, want %q", first[:8], wantMagic)
+		}
+
+		restored := New(DefaultConfig())
+		if err := restored.UnmarshalBinary(first); err != nil {
+			t.Fatal(err)
+		}
+		second, err := restored.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Logf("seed %d indexed %v: re-marshal differs", seed, indexed)
+			return false
+		}
+		if indexed == (restored.VectorIndex() == nil) {
+			t.Fatalf("restored index presence = %v, want %v", restored.VectorIndex() != nil, indexed)
+		}
+
+		queries, _ := trainSet(40, 7, seed^0x5555)
+		want, err := c.Predict(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Predict(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// legacyHeader builds a MCBKNN02 byte string with arbitrary header
+// fields and payload — the shape an attacker controls on disk.
+func legacyHeader(k int64, p float64, dim, n, groups int64, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(marshalMagic)
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(k)
+	w(p)
+	w(dim)
+	w(n)
+	w(groups)
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// TestUnmarshalRejectsAdversarialHeaders is the regression test for the
+// groups*dim*4 overflow: header fields big enough to wrap int64 used to
+// slip past the size check and drive a huge or negative allocation.
+// Every field must now be individually capped before any multiplication,
+// and every rejection must be the typed ErrCorruptModel.
+func TestUnmarshalRejectsAdversarialHeaders(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		// 2^32 · 2^32 · 4 ≡ 0 (mod 2^64): the old multiplied check saw 0
+		// bytes needed and passed, then make([]float32, 1<<64) exploded.
+		{"overflow to zero", legacyHeader(5, 2, 1<<32, 1<<33, 1<<32, nil)},
+		// 2^62 · 1 · 4 wraps negative: "need < len(b)" was trivially true.
+		{"overflow to negative", legacyHeader(5, 2, 1, 1<<62, 1<<62, nil)},
+		{"huge dim", legacyHeader(5, 2, 1<<40, 10, 10, nil)},
+		{"huge groups", legacyHeader(5, 2, 4, 1<<40, 1<<40, nil)},
+		{"huge k", legacyHeader(1<<40, 2, 4, 1, 1, nil)},
+		{"negative k", legacyHeader(-1, 2, 4, 1, 1, nil)},
+		{"nan p", legacyHeader(5, math.NaN(), 4, 1, 1, nil)},
+		{"negative p", legacyHeader(5, -2, 4, 1, 1, nil)},
+		{"negative dim", legacyHeader(5, 2, -4, 1, 1, nil)},
+		{"negative groups", legacyHeader(5, 2, 4, 1, -1, nil)},
+		{"n below groups", legacyHeader(5, 2, 4, 1, 2, make([]byte, 100))},
+		{"truncated payload", legacyHeader(5, 2, 4, 2, 2, make([]byte, 10))},
+		{"bad magic", []byte("MCBKNN99xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")},
+		{"short", []byte("MCB")},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		c := New(DefaultConfig())
+		err := c.UnmarshalBinary(tc.b)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrCorruptModel) {
+			t.Errorf("%s: error %v is not ErrCorruptModel", tc.name, err)
+		}
+	}
+}
+
+// TestUnmarshalRejectsCountMismatch: counts summing to something other
+// than the header's n is structural corruption, not a valid model.
+func TestUnmarshalRejectsCountMismatch(t *testing.T) {
+	x, y := trainSet(20, 4, 5)
+	c := New(Config{K: 3, P: 2})
+	if err := c.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the last count (a little-endian int32 at the tail).
+	b[len(b)-4]++
+	if err := New(DefaultConfig()).UnmarshalBinary(b); !errors.Is(err, ErrCorruptModel) {
+		t.Fatalf("count mismatch: got %v", err)
+	}
+}
