@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt fuzz chaos stress crash replay-e2e check bench bench-index bench-all
+.PHONY: all build test race vet fmt fuzz chaos chaos-repl stress crash replay-e2e check bench bench-index bench-repl bench-all
 
 all: check
 
@@ -41,6 +41,15 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzCursor$$ -fuzztime=$(FUZZTIME) ./internal/httpapi
 	$(GO) test -run=^$$ -fuzz=^FuzzIndexModel$$ -fuzztime=$(FUZZTIME) ./internal/ml/knn
 
+# Replication chaos suite: a crashfs-backed leader is killed at seeded
+# byte offsets mid-group-commit, mid-compaction and mid-retrain; the
+# follower must keep serving reads throughout, drain the leader's
+# durable prefix, and a promotion must surface every acknowledged
+# insert on the new leader (and nothing never attempted), under the
+# race detector.
+chaos-repl:
+	$(GO) test -race -count=1 -run 'ReplChaos' ./internal/repl
+
 # Overload stress: drives the admission controller and the full HTTP
 # serving path through a 10x concurrency burst under the race detector
 # and checks the shed-accounting identity holds exactly.
@@ -62,7 +71,7 @@ crash:
 replay-e2e:
 	$(GO) test -race -count=1 -run 'ReplayE2E' ./internal/replay
 
-check: build vet fmt race chaos stress crash fuzz replay-e2e bench-index
+check: build vet fmt race chaos chaos-repl stress crash fuzz replay-e2e bench-index
 
 # Serving-path perf trajectory: single classify hot/cold in the
 # embedding cache, 1000-job batch serial vs. all cores, full train.
@@ -74,6 +83,12 @@ bench:
 # recall@k drops below 0.95 at any scale.
 bench-index:
 	$(GO) run ./cmd/mcbound-bench -scenario index -out BENCH_serving.json
+
+# Replication trajectory: steady-state follower lag p50/p99 and
+# leader-death → first-accepted-write failover time; exits 1 if the
+# promoted leader lost any acknowledged insert.
+bench-repl:
+	$(GO) run ./cmd/mcbound-bench -scenario repl -out BENCH_serving.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -103,11 +103,22 @@ type report struct {
 	// (the run aborts with exit 1 if any scale's recall drops below the
 	// 0.95 gate).
 	Index []indexScaleResult `json:"index,omitempty"`
+
+	// Replication: steady-state follower lag (insert acknowledged on the
+	// leader → applied on a live-tailing follower) and the wall-clock
+	// cost of a failover (leader gone → promoted follower acknowledges
+	// its first write). The run aborts with exit 1 if the promoted
+	// leader is missing any insert the old leader acknowledged.
+	ReplLagSamples    int   `json:"repl_lag_samples"`
+	ReplLagP50Ns      int64 `json:"repl_lag_p50_ns"`
+	ReplLagP99Ns      int64 `json:"repl_lag_p99_ns"`
+	ReplFailoverNs    int64 `json:"repl_failover_ns"`
+	ReplFailoverAcked int64 `json:"repl_failover_acked_records"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_serving.json", "output JSON path")
-	scenario := flag.String("scenario", "all", `scenarios to run: "serving", "index", or "all"`)
+	scenario := flag.String("scenario", "all", `scenarios to run: "serving", "index", "repl", or "all"`)
 	flag.Parse()
 	if err := run(*out, *scenario); err != nil {
 		fmt.Fprintln(os.Stderr, "mcbound-bench:", err)
@@ -116,8 +127,10 @@ func main() {
 }
 
 func run(out, scenario string) error {
-	if scenario != "all" && scenario != "serving" && scenario != "index" {
-		return fmt.Errorf(`unknown -scenario %q (want "serving", "index", or "all")`, scenario)
+	switch scenario {
+	case "all", "serving", "index", "repl":
+	default:
+		return fmt.Errorf(`unknown -scenario %q (want "serving", "index", "repl", or "all")`, scenario)
 	}
 	// A partial run merges into the prior report so the untouched
 	// scenario's numbers survive.
@@ -129,13 +142,18 @@ func run(out, scenario string) error {
 	rep.NumCPU = runtime.NumCPU()
 	rep.GoVersion = runtime.Version()
 
-	if scenario != "index" {
+	if scenario == "all" || scenario == "serving" {
 		if err := runServing(&rep); err != nil {
 			return err
 		}
 	}
-	if scenario != "serving" {
+	if scenario == "all" || scenario == "index" {
 		if err := benchIndex(&rep); err != nil {
+			return err
+		}
+	}
+	if scenario == "all" || scenario == "repl" {
+		if err := benchRepl(&rep); err != nil {
 			return err
 		}
 	}

@@ -13,10 +13,14 @@
 //	mcbound-server -trace jobs.jsonl -model rf -alpha 15 -port 8080
 //	mcbound-server -generate -scale 0.01            # demo without a trace file
 //	mcbound-server -generate -retrain-every 24h -pprof
+//	mcbound-server -generate -data-dir /var/lib/mcbound            # leader
+//	mcbound-server -follow http://leader:8080 -data-dir /var/lib/mcbound-f -port 8081
+//	mcbound-server -promote-on-start -data-dir /var/lib/mcbound-f  # lead over inherited state
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,7 +39,9 @@ import (
 	"mcbound/internal/httpapi"
 	"mcbound/internal/job"
 	"mcbound/internal/ml/knn"
+	"mcbound/internal/repl"
 	"mcbound/internal/replay"
+	"mcbound/internal/resilience"
 	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
 	"mcbound/internal/wal"
@@ -88,6 +94,13 @@ type options struct {
 	sseBuffer    int
 	sseHeartbeat time.Duration
 	replaySource string
+
+	// Replication.
+	follow         string
+	followPoll     time.Duration
+	maxLag         time.Duration
+	promoteOnStart bool
+	retrainJitter  float64
 }
 
 func main() {
@@ -128,6 +141,11 @@ func main() {
 	flag.IntVar(&o.sseBuffer, "sse-buffer", httpapi.DefaultSSEBuffer, "prediction stream resume-ring and per-subscriber channel capacity")
 	flag.DurationVar(&o.sseHeartbeat, "sse-heartbeat", httpapi.DefaultSSEHeartbeat, "idle keep-alive period on GET /v1/predictions/stream")
 	flag.StringVar(&o.replaySource, "replay-source", "", "JSONL trace file backing the /v1/replay resource (empty = replay disabled)")
+	flag.StringVar(&o.follow, "follow", "", "leader base URL to replicate from (follower mode: read-only API, writes answer not_leader)")
+	flag.DurationVar(&o.followPoll, "follow-poll", 250*time.Millisecond, "manifest poll cadence in follower mode")
+	flag.DurationVar(&o.maxLag, "max-lag", 15*time.Second, "replication lag before follower /healthz reports lagging")
+	flag.BoolVar(&o.promoteOnStart, "promote-on-start", false, "boot as leader over an inherited -data-dir with a bumped fencing epoch (fences the previous leader)")
+	flag.Float64Var(&o.retrainJitter, "retrain-jitter", core.DefaultRetrainJitter, "fraction of -retrain-every each cron interval is jittered by (seeded; 0 = fixed period)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -140,6 +158,14 @@ func run(o options) error {
 	// SIGTERM/SIGINT trigger the graceful-shutdown path below.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	following := o.follow != ""
+	if following && o.promoteOnStart {
+		return fmt.Errorf("-follow and -promote-on-start are mutually exclusive: promote a running follower via POST /v1/promote, or restart without -follow")
+	}
+	if o.promoteOnStart && o.dataDir == "" {
+		return fmt.Errorf("-promote-on-start requires -data-dir (the inherited durable state to lead over)")
+	}
 
 	var st *store.Store
 	switch {
@@ -157,8 +183,12 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+	case following:
+		// A follower needs no seed: its store fills from the leader's
+		// stream. A warm start below may still shortcut the bootstrap.
+		st = store.New()
 	default:
-		return fmt.Errorf("either -trace or -generate is required")
+		return fmt.Errorf("either -trace, -generate or -follow is required")
 	}
 	log.Printf("jobs data storage ready: %d jobs", st.Len())
 
@@ -168,8 +198,10 @@ func run(o options) error {
 	// serving, then route every insert through the log. On the first
 	// boot the trace/synthetic store seeds the initial snapshot; on
 	// later boots the durable state is authoritative and the seed is
-	// ignored.
+	// ignored. A follower does not open the log for writing — its
+	// -data-dir is only warm-start state and the promotion target.
 	var durable *store.Durable
+	var durOpts store.DurableOptions
 	if o.dataDir != "" {
 		policy, err := wal.ParsePolicy(o.fsync)
 		if err != nil {
@@ -178,29 +210,94 @@ func run(o options) error {
 		walHist := reg.Histogram("mcbound_wal_append_seconds",
 			"WAL append latency per acknowledged batch (reserve to durability point).",
 			telemetry.ExponentialBuckets(1e-5, 4, 10), nil)
-		durable, err = store.OpenDurable(o.dataDir, st, store.DurableOptions{
+		durOpts = store.DurableOptions{
 			SegmentBytes:   o.segmentBytes,
 			Policy:         policy,
 			Interval:       o.fsyncInterval,
 			SnapshotEvery:  o.snapshotEvery,
 			AppendObserver: walHist.Observe,
+			BumpEpoch:      o.promoteOnStart,
+		}
+		if following {
+			// Warm start: replay whatever durable state a previous life
+			// of this node left, read-only (no truncation, no rotation,
+			// no epoch writes). The follower re-syncs from the leader
+			// either way; apply is last-writer-wins in log order, so a
+			// stale warm store only saves bootstrap bytes, never wins.
+			if _, statErr := os.Stat(o.dataDir); statErr == nil {
+				warm, rec, lerr := store.LoadReadOnly(o.dataDir, wal.OS)
+				if lerr != nil {
+					log.Printf("warning: warm start from %s failed, bootstrapping cold: %v", o.dataDir, lerr)
+				} else {
+					st = warm
+					log.Printf("warm start from %s: %d jobs (recovery %s)", o.dataDir, st.Len(), rec.Outcome())
+				}
+			}
+		} else {
+			durable, err = store.OpenDurable(o.dataDir, st, durOpts)
+			if err != nil {
+				return fmt.Errorf("open durable store %s: %w", o.dataDir, err)
+			}
+			defer func() {
+				if cerr := durable.Close(); cerr != nil {
+					log.Printf("warning: durable store close: %v", cerr)
+				}
+			}()
+			rec := durable.Recovery()
+			log.Printf("durable store %s: recovery %s (%d snapshot + %d log records, fsync=%s, epoch=%d)",
+				o.dataDir, rec.Outcome(), rec.SnapshotRecords, rec.SegmentRecords, policy, durable.WAL().Epoch())
+			if rec.Failure != nil {
+				log.Printf("warning: serving the clean prefix only — a corrupt WAL segment was quarantined: %v", rec.Failure)
+			}
+			st = durable.Store()
+			log.Printf("durable jobs data storage ready: %d jobs", st.Len())
+		}
+	}
+
+	// Replication topology. A leader with a durable log serves the WAL-
+	// shipping surface (GET /v1/wal/segments...); a follower tails it,
+	// applying every CRC-verified frame through the same path as crash
+	// recovery, and carries the plan to take over on POST /v1/promote.
+	var node *repl.Node
+	var follower *repl.Follower
+	if following {
+		client := repl.NewClient(repl.ClientConfig{
+			BaseURL: o.follow,
+			Retry: resilience.Policy{
+				MaxAttempts: o.fetchAttempts,
+				BaseDelay:   o.fetchBackoff,
+			},
+			Breaker: resilience.BreakerConfig{
+				FailureThreshold: o.breakerThreshold,
+				Cooldown:         o.breakerCooldown,
+			},
+			Seed: o.seed,
+		})
+		var err error
+		follower, err = repl.NewFollower(repl.FollowerConfig{
+			Client: client,
+			Apply: func(payload []byte) error {
+				var j job.Job
+				if jerr := json.Unmarshal(payload, &j); jerr != nil {
+					return jerr
+				}
+				return st.Insert(&j)
+			},
+			Poll:   o.followPoll,
+			MaxLag: o.maxLag,
+			Logf:   log.Printf,
 		})
 		if err != nil {
-			return fmt.Errorf("open durable store %s: %w", o.dataDir, err)
+			return err
 		}
-		defer func() {
-			if cerr := durable.Close(); cerr != nil {
-				log.Printf("warning: durable store close: %v", cerr)
-			}
-		}()
-		rec := durable.Recovery()
-		log.Printf("durable store %s: recovery %s (%d snapshot + %d log records, fsync=%s)",
-			o.dataDir, rec.Outcome(), rec.SnapshotRecords, rec.SegmentRecords, policy)
-		if rec.Failure != nil {
-			log.Printf("warning: serving the clean prefix only — a corrupt WAL segment was quarantined: %v", rec.Failure)
-		}
-		st = durable.Store()
-		log.Printf("durable jobs data storage ready: %d jobs", st.Len())
+		node = repl.NewFollowerNode(follower, o.follow, repl.PromotePlan{
+			Dir:     o.dataDir,
+			Store:   st,
+			Options: durOpts,
+		})
+	} else if durable != nil {
+		node = repl.NewLeader(durable)
+		log.Printf("replication leader: epoch %d, serving WAL at /v1/wal/segments", durable.WAL().Epoch())
 	}
 
 	// Fetch chain: store → optional fault injection → retries + breaker.
@@ -249,6 +346,24 @@ func run(o options) error {
 			}
 			log.Printf("restored model version %d from %s", lrep.Version, o.modelDir)
 		}
+	}
+
+	// Follower bootstrap: one synchronous sync round before the initial
+	// training, so the first model fits on the leader's data rather than
+	// an empty store. A failed round is not fatal — the background loop
+	// keeps retrying and /healthz reports the follower disconnected.
+	if follower != nil {
+		syncCtx, syncCancel := context.WithTimeout(ctx, 30*time.Second)
+		if serr := follower.SyncNow(syncCtx); serr != nil {
+			log.Printf("warning: initial replication sync failed (leader %s), serving degraded: %v", o.follow, serr)
+		} else {
+			fs := follower.Status()
+			log.Printf("replication bootstrap complete: %d jobs applied, epoch %d, applied_seq %d",
+				st.Len(), fs.Epoch, fs.AppliedSeq)
+		}
+		syncCancel()
+		go follower.Run(ctx)
+		defer follower.Stop()
 	}
 
 	// Initial Training Workflow (the deploy script of §III-E). A failure
@@ -315,6 +430,7 @@ func run(o options) error {
 		Admission:       adm,
 		DefaultDeadline: o.defaultDeadline,
 		Durable:         durable,
+		Repl:            node,
 		Replay:          replayMgr,
 		StreamBatchSize: o.streamBatch,
 		SSEBufferSize:   o.sseBuffer,
@@ -326,21 +442,26 @@ func run(o options) error {
 	api.ObserveTrain(rep, trainErr)
 
 	// Cron-equivalent retraining ticker: retrain on the newest completed
-	// data (a live store advances as POST /v1/jobs delivers records).
-	// Stopped by the same signal context that drains the server.
+	// data (a live store advances as POST /v1/jobs delivers records, or
+	// as the replication stream applies the leader's). Each interval is
+	// drawn from the seeded jittered schedule so a fleet of replicas
+	// started together never retrains in lockstep. Stopped by the same
+	// signal context that drains the server.
 	var wg sync.WaitGroup
 	if o.retrainEvery > 0 {
+		sched := core.NewRetrainSchedule(o.retrainEvery, o.retrainJitter, o.seed)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ticker := time.NewTicker(o.retrainEvery)
-			defer ticker.Stop()
+			timer := time.NewTimer(sched.Next())
+			defer timer.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					log.Printf("retraining ticker stopped")
 					return
-				case <-ticker.C:
+				case <-timer.C:
+					timer.Reset(sched.Next())
 					at := newestEnd(st)
 					if at.IsZero() {
 						at = time.Now().UTC()
@@ -373,6 +494,15 @@ func run(o options) error {
 		srv.Addr, o.model, o.alpha, o.beta, o.maxBody, o.pprof)
 	err = httpapi.ListenAndServe(ctx, srv, o.drainTimeout)
 	wg.Wait()
+	// A promotion during this run attached a durable log the boot-time
+	// defer does not know about; flush it on the way out.
+	if node != nil {
+		if d := node.Durable(); d != nil && d != durable {
+			if cerr := d.Close(); cerr != nil {
+				log.Printf("warning: promoted durable store close: %v", cerr)
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"time"
+
+	"mcbound/internal/stats"
+)
+
+// DefaultRetrainJitter is the fraction of the retraining period that
+// RetrainSchedule spreads ticks over: each interval lands uniformly in
+// period ± 10%.
+const DefaultRetrainJitter = 0.10
+
+// RetrainSchedule paces the cron-equivalent retraining ticker with
+// seeded jitter. A fleet of replicas started together with the same
+// -retrain-every would otherwise fire their Training Workflows in
+// lockstep — every node burning background concurrency at the same
+// instant, and a follower fleet hammering the leader's fetch path
+// simultaneously. Drawing each interval from period ± jitter·period
+// (uniform, deterministic per seed) de-synchronizes the fleet while
+// keeping the long-run retraining rate exactly 1/period.
+type RetrainSchedule struct {
+	period time.Duration
+	jitter float64
+	rng    *stats.RNG
+}
+
+// NewRetrainSchedule builds a schedule around period. jitter is the
+// half-width fraction (0 disables jitter; values are clamped to [0, 1)),
+// seed makes the interval sequence reproducible.
+func NewRetrainSchedule(period time.Duration, jitter float64, seed uint64) *RetrainSchedule {
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter >= 1 {
+		jitter = 0.99
+	}
+	return &RetrainSchedule{period: period, jitter: jitter, rng: stats.NewRNG(seed)}
+}
+
+// Next draws the delay until the next retraining tick: uniform in
+// [period·(1−jitter), period·(1+jitter)], never below 1ms so a
+// pathological period cannot busy-loop the ticker.
+func (s *RetrainSchedule) Next() time.Duration {
+	d := s.period
+	if s.jitter > 0 {
+		f := 1 + s.jitter*(2*s.rng.Float64()-1)
+		d = time.Duration(float64(s.period) * f)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}

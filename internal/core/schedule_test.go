@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetrainScheduleBoundsAndMean(t *testing.T) {
+	period := time.Hour
+	s := NewRetrainSchedule(period, DefaultRetrainJitter, 42)
+	lo := time.Duration(float64(period) * (1 - DefaultRetrainJitter))
+	hi := time.Duration(float64(period) * (1 + DefaultRetrainJitter))
+	var sum time.Duration
+	const n = 10_000
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < n; i++ {
+		d := s.Next()
+		if d < lo || d > hi {
+			t.Fatalf("draw %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+		sum += d
+		distinct[d] = true
+	}
+	// Uniform over period ± 10%: the mean stays within 1% of the period,
+	// so the long-run retraining rate is unchanged.
+	mean := sum / n
+	if diff := (mean - period).Abs(); diff > period/100 {
+		t.Fatalf("mean interval %v drifted %v from period %v", mean, diff, period)
+	}
+	if len(distinct) < n/2 {
+		t.Fatalf("only %d distinct draws over %d ticks — jitter not spreading", len(distinct), n)
+	}
+}
+
+func TestRetrainScheduleDeterministicPerSeed(t *testing.T) {
+	a := NewRetrainSchedule(time.Hour, DefaultRetrainJitter, 7)
+	b := NewRetrainSchedule(time.Hour, DefaultRetrainJitter, 7)
+	c := NewRetrainSchedule(time.Hour, DefaultRetrainJitter, 8)
+	sameAsC := 0
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Next(), b.Next(), c.Next()
+		if av != bv {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, av, bv)
+		}
+		if av == cv {
+			sameAsC++
+		}
+	}
+	if sameAsC == 100 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRetrainScheduleZeroJitterIsExact(t *testing.T) {
+	s := NewRetrainSchedule(time.Hour, 0, 1)
+	for i := 0; i < 10; i++ {
+		if d := s.Next(); d != time.Hour {
+			t.Fatalf("zero-jitter draw = %v, want exactly 1h", d)
+		}
+	}
+}
+
+func TestRetrainScheduleFloorsPathologicalPeriods(t *testing.T) {
+	s := NewRetrainSchedule(0, DefaultRetrainJitter, 1)
+	if d := s.Next(); d < time.Millisecond {
+		t.Fatalf("zero period drew %v, want >= 1ms floor", d)
+	}
+	// Out-of-range jitter is clamped, not propagated.
+	s = NewRetrainSchedule(time.Second, 5.0, 1)
+	if d := s.Next(); d <= 0 {
+		t.Fatalf("clamped jitter drew %v, want positive", d)
+	}
+}

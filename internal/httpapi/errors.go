@@ -9,9 +9,11 @@ import (
 	"mcbound/internal/admission"
 	"mcbound/internal/core"
 	"mcbound/internal/job"
+	"mcbound/internal/repl"
 	"mcbound/internal/replay"
 	"mcbound/internal/resilience"
 	"mcbound/internal/store"
+	"mcbound/internal/wal"
 )
 
 // errorBody is the error envelope every handler returns: a human
@@ -33,6 +35,9 @@ const (
 	codeBodyTooLarge = "body_too_large"
 	codeReplayBusy   = "replay_conflict"
 	codeReplayIdle   = "replay_not_active"
+	codeNotLeader    = "not_leader"
+	codeIsLeader     = "already_leader"
+	codeNoRepl       = "replication_disabled"
 	codeCanceled     = "canceled"
 	codeDeadline     = "deadline_exceeded"
 	codeBreakerOpen  = "breaker_open"
@@ -65,8 +70,17 @@ func errToStatus(err error) (status int, code string) {
 		return http.StatusBadRequest, codeInvalidJob
 	case errors.Is(err, errBadRequest):
 		return http.StatusBadRequest, codeBadRequest
-	case errors.Is(err, store.ErrNotFound):
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, wal.ErrUnknownFile):
 		return http.StatusNotFound, codeNotFound
+	case errors.Is(err, repl.ErrNotLeader):
+		// 421: the request reached a server that cannot produce an
+		// authoritative response; Location (set by leaderOnly) names the
+		// node that can.
+		return http.StatusMisdirectedRequest, codeNotLeader
+	case errors.Is(err, repl.ErrAlreadyLeader):
+		return http.StatusConflict, codeIsLeader
+	case errors.Is(err, repl.ErrNoLog):
+		return http.StatusConflict, codeNoRepl
 	case errors.Is(err, replay.ErrConflict):
 		return http.StatusConflict, codeReplayBusy
 	case errors.Is(err, replay.ErrNotActive):

@@ -8,6 +8,7 @@ import (
 	"mcbound/internal/replay"
 	"mcbound/internal/store"
 	"mcbound/internal/telemetry"
+	"mcbound/internal/wal"
 )
 
 // trainBuckets cover the Training Workflow, which runs seconds-to-
@@ -151,26 +152,34 @@ func registerReplayMetrics(reg *telemetry.Registry, mgr *replay.Manager) {
 // registerWALMetrics exposes the durable store's log counters. The
 // append-latency histogram is not here: it is created by the caller who
 // owns the registry and wired in via DurableOptions.AppendObserver, so
-// it observes every append from the moment the WAL opens.
-func registerWALMetrics(reg *telemetry.Registry, d *store.Durable) {
+// it observes every append from the moment the WAL opens. durable is a
+// provider, not a value: a follower has no durable store until a
+// promotion attaches one, and the gauges read 0 until then.
+func registerWALMetrics(reg *telemetry.Registry, durable func() *store.Durable) {
+	stats := func() wal.Stats {
+		if d := durable(); d != nil {
+			return d.Stats()
+		}
+		return wal.Stats{}
+	}
 	reg.CounterFunc("mcbound_wal_appends_total",
 		"Records acknowledged through the write-ahead log.", nil,
-		func() int64 { return d.Stats().Appends })
+		func() int64 { return stats().Appends })
 	reg.CounterFunc("mcbound_wal_bytes_total",
 		"Framed bytes written to WAL segments.", nil,
-		func() int64 { return d.Stats().AppendedBytes })
+		func() int64 { return stats().AppendedBytes })
 	reg.CounterFunc("mcbound_wal_fsyncs_total",
 		"fsync calls issued on WAL segment files.", nil,
-		func() int64 { return d.Stats().Fsyncs })
+		func() int64 { return stats().Fsyncs })
 	reg.GaugeFunc("mcbound_wal_segments",
 		"Live WAL segment files including the active one.", nil,
-		func() float64 { return float64(d.Stats().Segments) })
+		func() float64 { return float64(stats().Segments) })
 	reg.GaugeFunc("mcbound_wal_recovered_records",
 		"Records replayed (snapshot + segments) by the last boot.", nil,
-		func() float64 { return float64(d.Stats().RecoveredRecords) })
+		func() float64 { return float64(stats().RecoveredRecords) })
 	reg.GaugeFunc("mcbound_wal_torn_tail_truncations",
 		"Torn log tails truncated by the last boot's recovery.", nil,
-		func() float64 { return float64(d.Stats().TornTailTruncations) })
+		func() float64 { return float64(stats().TornTailTruncations) })
 }
 
 // observeTrain records one Training Workflow trigger. rep may be nil on

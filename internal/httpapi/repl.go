@@ -1,0 +1,162 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"mcbound/internal/repl"
+	"mcbound/internal/store"
+	"mcbound/internal/telemetry"
+)
+
+// currentDurable resolves the durable store behind the write path. The
+// indirection matters on a follower: it boots with no durable store and
+// gains one the moment a promotion attaches a log to its state.
+func (s *Server) currentDurable() *store.Durable {
+	if s.durable != nil {
+		return s.durable
+	}
+	if s.repl != nil {
+		return s.repl.Durable()
+	}
+	return nil
+}
+
+// leaderOnly fences a write route: on a follower the request is
+// rejected with the typed not_leader code (421) and a Location header
+// naming the leader, so a client or proxy can redirect the write
+// instead of losing it.
+func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.repl != nil && s.repl.Role() == repl.RoleFollower {
+			err := error(repl.ErrNotLeader)
+			if u := s.repl.LeaderURL(); u != "" {
+				w.Header().Set("Location", u+r.URL.RequestURI())
+				err = fmt.Errorf("%w: leader is %s", repl.ErrNotLeader, u)
+			}
+			s.writeError(w, err)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleReplManifest serves the replication handshake.
+func (s *Server) handleReplManifest(w http.ResponseWriter, _ *http.Request) {
+	m, err := s.repl.Manifest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set(repl.EpochHeader, strconv.FormatUint(m.Epoch, 10))
+	s.writeJSON(w, http.StatusOK, m)
+}
+
+// handleReplChunk serves raw file bytes for the replication stream,
+// stamped with the fencing epoch.
+func (s *Server) handleReplChunk(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var off, limit int64
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			s.writeError(w, badRequest(fmt.Errorf("bad offset %q: non-negative integer required", v)))
+			return
+		}
+		off = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			s.writeError(w, badRequest(fmt.Errorf("bad limit %q: non-negative integer required", v)))
+			return
+		}
+		limit = n
+	}
+	data, epoch, err := s.repl.ReadChunk(r.PathValue("name"), off, limit)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set(repl.EpochHeader, strconv.FormatUint(epoch, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handlePromote flips a follower into the leader role, durably bumping
+// the fencing epoch so the previous leader's stream is rejected
+// everywhere from now on.
+func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
+	epoch, err := s.repl.Promote()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.log.Printf("httpapi: promoted to leader at epoch %d", epoch)
+	s.writeJSON(w, http.StatusOK, map[string]any{"role": "leader", "epoch": epoch})
+}
+
+// registerReplMetrics exposes the node's replication posture. The
+// follower gauges read 0 on a leader so dashboards can keep one query
+// across a promotion.
+func registerReplMetrics(reg *telemetry.Registry, n *repl.Node) {
+	follower := func(get func(*repl.FollowerStatus) float64) func() float64 {
+		return func() float64 {
+			if fs := n.FollowerStatus(); fs != nil {
+				return get(fs)
+			}
+			return 0
+		}
+	}
+	reg.GaugeFunc("mcbound_repl_is_leader",
+		"1 when this node is the replication leader, else 0.", nil,
+		func() float64 {
+			if n.Role() == repl.RoleLeader {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("mcbound_repl_epoch",
+		"Replication fencing epoch this node operates under.", nil,
+		func() float64 { return float64(n.Status().Epoch) })
+	reg.GaugeFunc("mcbound_repl_lag_seconds",
+		"How long this follower has been behind the leader's committed sequence; 0 when caught up or leading.",
+		nil, follower(func(fs *repl.FollowerStatus) float64 { return fs.LagSeconds }))
+	reg.GaugeFunc("mcbound_repl_lag_records",
+		"Records between the leader's committed sequence and this follower's applied sequence.",
+		nil, follower(func(fs *repl.FollowerStatus) float64 { return float64(fs.LagRecords) }))
+	reg.GaugeFunc("mcbound_repl_applied_seq",
+		"Record sequence this follower has applied up to.",
+		nil, follower(func(fs *repl.FollowerStatus) float64 { return float64(fs.AppliedSeq) }))
+	reg.GaugeFunc("mcbound_repl_connected",
+		"1 while the follower's last sync round is within the disconnect window (1 on a leader).", nil,
+		func() float64 {
+			if fs := n.FollowerStatus(); fs != nil && fs.State == repl.StateDisconnected {
+				return 0
+			}
+			return 1
+		})
+	counter := func(get func(*repl.FollowerStatus) int64) func() int64 {
+		return func() int64 {
+			if fs := n.FollowerStatus(); fs != nil {
+				return get(fs)
+			}
+			return 0
+		}
+	}
+	reg.CounterFunc("mcbound_repl_applied_records_total",
+		"Records (snapshot + segment frames) applied by the replication stream.", nil,
+		counter(func(fs *repl.FollowerStatus) int64 { return fs.AppliedRecords }))
+	reg.CounterFunc("mcbound_repl_fetches_total",
+		"Replication fetches issued against the leader.", nil,
+		counter(func(fs *repl.FollowerStatus) int64 { return fs.Fetches }))
+	reg.CounterFunc("mcbound_repl_fetch_errors_total",
+		"Replication fetches that failed after retries.", nil,
+		counter(func(fs *repl.FollowerStatus) int64 { return fs.FetchErrors }))
+	reg.CounterFunc("mcbound_repl_resyncs_total",
+		"Full re-bootstraps from a leader snapshot (compaction outran the tail, or leadership changed).", nil,
+		counter(func(fs *repl.FollowerStatus) int64 { return fs.Resyncs }))
+}

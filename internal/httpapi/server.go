@@ -18,6 +18,9 @@
 //	POST   /v1/replay/pause              suspend the replay at its next checkpoint
 //	POST   /v1/replay/resume             continue a paused replay
 //	DELETE /v1/replay                    cancel the replay (or clear a finished one)
+//	GET    /v1/wal/segments              replication manifest (epoch, committed seq, files)
+//	GET    /v1/wal/segments/{name}       ranged segment/snapshot bytes (?offset=&limit=)
+//	POST   /v1/promote                   promote this follower to leader (fences the old epoch)
 //
 // All payloads are JSON; timestamps are RFC 3339. Range endpoints
 // paginate with opaque resumable cursors (?cursor=, {items, next_cursor,
@@ -51,6 +54,7 @@ import (
 	"mcbound/internal/admission"
 	"mcbound/internal/core"
 	"mcbound/internal/job"
+	"mcbound/internal/repl"
 	"mcbound/internal/replay"
 	"mcbound/internal/resilience"
 	"mcbound/internal/store"
@@ -113,6 +117,15 @@ type Options struct {
 	// through this handler.
 	Replay *replay.Manager
 
+	// Repl, when set, is this process's replication role: the manifest
+	// and segment-fetch routes plus POST /v1/promote are mounted, write
+	// routes are fenced with the typed not_leader redirect on a
+	// follower, /healthz grows a "replication" section (with the
+	// three-way ok/lagging/disconnected state on followers) and the
+	// mcbound_repl_* collectors are registered. On a leader, pass the
+	// same durable store in both Durable and Repl.
+	Repl *repl.Node
+
 	// StreamBatchSize groups NDJSON ingest records per commit/ack; 0
 	// selects DefaultStreamBatch.
 	StreamBatchSize int
@@ -142,6 +155,7 @@ type Server struct {
 	maxDeadline     time.Duration
 	durable         *store.Durable
 	replayMgr       *replay.Manager
+	repl            *repl.Node
 	hub             *predHub
 	streamBatch     int
 	sseBuffer       int
@@ -195,6 +209,7 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 		maxDeadline:     opts.MaxDeadline,
 		durable:         opts.Durable,
 		replayMgr:       opts.Replay,
+		repl:            opts.Repl,
 		hub:             newPredHub(opts.SSEBufferSize),
 		streamBatch:     opts.StreamBatchSize,
 		sseBuffer:       opts.SSEBufferSize,
@@ -202,11 +217,16 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 	}
 	registerAdmissionMetrics(s.reg, s.adm)
 	registerStreamMetrics(s.reg, s.hub)
-	if s.durable != nil {
-		registerWALMetrics(s.reg, s.durable)
+	if s.durable != nil || s.repl != nil {
+		// The provider indirection matters on followers: the durable
+		// store only appears when a promotion attaches one.
+		registerWALMetrics(s.reg, s.currentDurable)
 	}
 	if s.replayMgr != nil {
 		registerReplayMetrics(s.reg, s.replayMgr)
+	}
+	if s.repl != nil {
+		registerReplMetrics(s.reg, s.repl)
 	}
 	// Route priorities: the inference hot path is Interactive, bulk
 	// range/batch endpoints are Batch, retraining is Background (capped
@@ -215,21 +235,31 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 	s.route("GET /healthz", s.guard(admission.Critical, s.handleHealth))
 	s.route("GET /v1/model", s.guard(admission.Interactive, s.handleModel))
 	s.route("POST /v1/train", s.guard(admission.Background, s.handleTrain))
-	s.route("POST /v1/jobs", s.guard(admission.Batch, s.handleInsert))
+	s.route("POST /v1/jobs", s.guard(admission.Batch, s.leaderOnly(s.handleInsert)))
 	s.route("GET /v1/classify/{id}", s.guard(admission.Interactive, s.handleClassifyByID))
 	s.route("POST /v1/classify", s.guard(admission.Interactive, s.handleClassifyJobs))
 	s.route("GET /v1/classify", s.guard(admission.Batch, s.handleClassifyRange))
 	s.route("GET /v1/characterize", s.guard(admission.Batch, s.handleCharacterize))
 	// Long-lived routes: admitted as streams (no request deadline, no
 	// doomed-shedding; per-chunk budgets instead — see guardStream).
-	s.route("POST /v1/jobs/stream", s.guardStream(admission.Batch, s.handleInsertStream))
+	s.route("POST /v1/jobs/stream", s.guardStream(admission.Batch, s.leaderOnly(s.handleInsertStream)))
 	s.route("GET /v1/predictions/stream", s.guardStream(admission.Batch, s.handlePredictionStream))
 	if s.replayMgr != nil {
-		s.route("POST /v1/replay", s.guard(admission.Interactive, s.handleReplayStart))
+		// Replay mutations drive inserts, so they are leader-only too;
+		// the status read stays open on every role.
+		s.route("POST /v1/replay", s.guard(admission.Interactive, s.leaderOnly(s.handleReplayStart)))
 		s.route("GET /v1/replay", s.guard(admission.Interactive, s.handleReplayStatus))
-		s.route("POST /v1/replay/pause", s.guard(admission.Interactive, s.handleReplayPause))
-		s.route("POST /v1/replay/resume", s.guard(admission.Interactive, s.handleReplayResume))
-		s.route("DELETE /v1/replay", s.guard(admission.Interactive, s.handleReplayCancel))
+		s.route("POST /v1/replay/pause", s.guard(admission.Interactive, s.leaderOnly(s.handleReplayPause)))
+		s.route("POST /v1/replay/resume", s.guard(admission.Interactive, s.leaderOnly(s.handleReplayResume)))
+		s.route("DELETE /v1/replay", s.guard(admission.Interactive, s.leaderOnly(s.handleReplayCancel)))
+	}
+	if s.repl != nil {
+		// The replication surface rides at Background priority: shipping
+		// log bytes to followers must never crowd out inference.
+		s.route("GET /v1/wal/segments", s.guard(admission.Background, s.handleReplManifest))
+		s.route("GET /v1/wal/segments/{name}", s.guard(admission.Background, s.handleReplChunk))
+		// Promotion is the failover lever; it must work under duress.
+		s.route("POST /v1/promote", s.guard(admission.Critical, s.handlePromote))
 	}
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	if opts.EnablePprof {
@@ -313,6 +343,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	case s.fw.Degraded():
 		status = "degraded"
 	}
+	var replStatus *repl.NodeStatus
+	if s.repl != nil {
+		st := s.repl.Status()
+		replStatus = &st
+		// A lagging or disconnected follower serves a stale model; the
+		// three-way state is the top-level status so a load balancer can
+		// eject the replica on the probe alone.
+		if st.Follower != nil && st.Follower.State != repl.StateOK {
+			status, httpStatus = st.Follower.State, http.StatusServiceUnavailable
+		}
+	}
 	body := map[string]any{
 		"status":   status,
 		"trained":  s.fw.Trained(),
@@ -325,8 +366,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.breaker != nil {
 		body["breaker"] = s.breaker.State().String()
 	}
-	if s.durable != nil {
-		body["durability"] = s.durable.Health()
+	if d := s.currentDurable(); d != nil {
+		body["durability"] = d.Health()
+	}
+	if replStatus != nil {
+		body["replication"] = replStatus
 	}
 	if s.replayMgr != nil {
 		st := s.replayMgr.Status()
@@ -429,8 +473,8 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// batch reached the fsync policy's durability point; a WAL failure
 	// means no 200 (and no in-memory application) — the client retries.
 	var insertErr error
-	if s.durable != nil {
-		insertErr = s.durable.Insert(jobs...)
+	if d := s.currentDurable(); d != nil {
+		insertErr = d.Insert(jobs...)
 	} else {
 		insertErr = s.store.Insert(jobs...)
 	}

@@ -155,8 +155,8 @@ func (s *Server) handleInsertStream(w http.ResponseWriter, r *http.Request) {
 		}
 		t0 := time.Now()
 		var err error
-		if s.durable != nil {
-			err = s.durable.Insert(batch...)
+		if d := s.currentDurable(); d != nil {
+			err = d.Insert(batch...)
 		} else {
 			err = s.store.Insert(batch...)
 		}

@@ -1,0 +1,269 @@
+package repl_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mcbound/internal/repl"
+	"mcbound/internal/store"
+	"mcbound/internal/wal/crashfs"
+)
+
+// The replication chaos suite: a crashfs-backed leader is killed at a
+// seeded byte offset while doing something interesting (group commit,
+// compaction, a retrain-shaped read storm), power-loss semantics are
+// applied, and the wedged leader — alive but unable to ack — keeps
+// serving its durable prefix. The follower must drain to the committed
+// sequence, keep answering reads throughout, and a promotion must
+// produce a leader holding EVERY acked insert (acked ⊆ promoted ⊆
+// attempted). Run by `make chaos-repl` under -race.
+
+// ackLog tracks the writer-side ground truth under concurrency.
+type ackLog struct {
+	mu        sync.Mutex
+	acked     []string
+	attempted []string
+}
+
+func (a *ackLog) attempt(id string) {
+	a.mu.Lock()
+	a.attempted = append(a.attempted, id)
+	a.mu.Unlock()
+}
+
+func (a *ackLog) ack(id string) {
+	a.mu.Lock()
+	a.acked = append(a.acked, id)
+	a.mu.Unlock()
+}
+
+func (a *ackLog) snapshot() (acked, attempted []string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.acked...), append([]string(nil), a.attempted...)
+}
+
+// chaosLeader is one crashfs-backed leader with its follower.
+type chaosLeader struct {
+	fs   *crashfs.FS
+	d    *store.Durable
+	node *repl.Node
+	f    *repl.Follower
+	fst  *store.Store
+	log  ackLog
+}
+
+func newChaosLeader(t *testing.T, seed uint64, seedJobs int) *chaosLeader {
+	t.Helper()
+	cl := &chaosLeader{fs: crashfs.New(seed)}
+	seedStore := store.New()
+	for i := 0; i < seedJobs; i++ {
+		seedStore.Insert(mkJob(fmt.Sprintf("seed-%04d", i)))
+	}
+	var err error
+	cl.d, err = store.OpenDurable("lead", seedStore, store.DurableOptions{
+		FS:           cl.fs,
+		SegmentBytes: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.node = repl.NewLeader(cl.d)
+	srv := serveNode(t, func() *repl.Node { return cl.node })
+	cl.f, cl.fst = newFollowerPair(t, srv.URL)
+	drain(t, cl.f, cl.d)
+	if cl.fst.Len() != seedJobs {
+		t.Fatalf("initial drain applied %d, want %d", cl.fst.Len(), seedJobs)
+	}
+	return cl
+}
+
+// insertUntilKilled writes jobs through the durable path from n
+// goroutines until the crashfs kill point fires, recording ground truth.
+func (cl *chaosLeader) insertUntilKilled(t *testing.T, writers int, prefix string) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				id := fmt.Sprintf("%s-%d-%04d", prefix, w, i)
+				cl.log.attempt(id)
+				if err := cl.d.Insert(mkJob(id)); err != nil {
+					return // the log is wedged; no further acks possible
+				}
+				cl.log.ack(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !cl.fs.Killed() {
+		t.Fatal("writers stopped but the kill point never fired")
+	}
+}
+
+// verifyFailover is the shared back half of every scenario: crash the
+// dead leader's disk state, drain the follower from the wedged process,
+// promote, and check the no-acked-loss invariant.
+func (cl *chaosLeader) verifyFailover(t *testing.T) {
+	t.Helper()
+
+	// A reader hammers the follower's store during the whole failover:
+	// a leader death must never interrupt follower reads.
+	readerStop := make(chan struct{})
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+			}
+			if _, err := cl.fst.Get("seed-0000"); err != nil {
+				readerDone <- fmt.Errorf("follower read failed during failover: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Power loss: unsynced bytes vanish or tear (maybe with a flipped
+	// bit), fsynced bytes survive. The leader process image is still
+	// around — wedged, unable to ack — and keeps serving the durable
+	// prefix for the drain.
+	cl.fs.Crash()
+
+	acked, attempted := cl.log.snapshot()
+	committed := cl.d.CommittedSeq()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for cl.f.Status().AppliedSeq < committed {
+		if err := cl.f.SyncNow(ctx); err != nil {
+			t.Fatalf("post-crash drain: %v", err)
+		}
+	}
+
+	// Promote onto a real disk dir; the promoted leader republishes the
+	// applied state as its first snapshot and bumps the fencing epoch.
+	node2 := repl.NewFollowerNode(cl.f, "", repl.PromotePlan{
+		Dir:   t.TempDir(),
+		Store: cl.fst,
+	})
+	epoch, err := node2.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if epoch < 2 {
+		t.Fatalf("promoted epoch = %d, want >= 2", epoch)
+	}
+	promoted := node2.Durable()
+	if promoted == nil {
+		t.Fatal("promotion attached no durable store")
+	}
+	defer promoted.Close()
+	if got := promoted.WAL().Epoch(); got != epoch {
+		t.Fatalf("promoted WAL epoch = %d, want %d", got, epoch)
+	}
+
+	close(readerStop)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero acked loss: every insert the dead leader acknowledged is in
+	// the promoted leader's store.
+	pst := promoted.Store()
+	for _, id := range acked {
+		if _, err := pst.Get(id); err != nil {
+			t.Errorf("acked insert %s lost across failover", id)
+		}
+	}
+	// No invention either: everything the promoted leader holds was at
+	// least attempted on the old one.
+	allowed := make(map[string]bool, len(attempted))
+	for _, id := range attempted {
+		allowed[id] = true
+	}
+	for _, j := range pst.All() {
+		if !allowed[j.ID] && !isSeedID(j.ID) {
+			t.Errorf("promoted store holds %s, never attempted", j.ID)
+		}
+	}
+	t.Logf("failover: %d attempted, %d acked, %d in promoted store, epoch %d",
+		len(attempted), len(acked), pst.Len(), epoch)
+
+	// The promoted leader accepts writes on the continued sequence.
+	if err := promoted.Insert(mkJob("post-promote")); err != nil {
+		t.Fatalf("promoted leader rejected a write: %v", err)
+	}
+}
+
+func isSeedID(id string) bool { return len(id) >= 4 && id[:4] == "seed" }
+
+func TestReplChaosLeaderKilledMidGroupCommit(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cl := newChaosLeader(t, seed, 50)
+			// A budget in the middle of a busy write run lands the kill
+			// inside a group-commit flush: some riders acked, the one in
+			// flight torn.
+			cl.fs.KillAfterBytes(int64(10_000 + seed*1_777))
+			cl.insertUntilKilled(t, 4, "gc")
+			cl.verifyFailover(t)
+		})
+	}
+}
+
+func TestReplChaosLeaderKilledMidCompaction(t *testing.T) {
+	cl := newChaosLeader(t, 9, 50)
+	// Feed the log, then arm a budget small enough that the snapshot
+	// rewrite itself crosses it: the kill lands inside the compaction's
+	// snapshot write, with the old snapshot still the durable truth.
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("precompact-%04d", i)
+		cl.log.attempt(id)
+		if err := cl.d.Insert(mkJob(id)); err != nil {
+			t.Fatalf("pre-compaction insert: %v", err)
+		}
+		cl.log.ack(id)
+	}
+	cl.fs.KillAfterBytes(8 << 10)
+	if err := cl.d.Snapshot(); err == nil {
+		t.Fatal("snapshot survived a mid-compaction kill budget")
+	}
+	if !cl.fs.Killed() {
+		t.Fatal("kill point never fired during compaction")
+	}
+	cl.verifyFailover(t)
+}
+
+func TestReplChaosLeaderKilledMidRetrain(t *testing.T) {
+	cl := newChaosLeader(t, 21, 80)
+	// A retrain-shaped load: a reader sweeps training windows over the
+	// store while writers append — the kill lands with both in flight,
+	// the way a cron retrain dies with the process.
+	stopTrain := make(chan struct{})
+	var trainWG sync.WaitGroup
+	trainWG.Add(1)
+	go func() {
+		defer trainWG.Done()
+		start := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+		for {
+			select {
+			case <-stopTrain:
+				return
+			default:
+			}
+			_ = cl.d.Store().ExecutedBetween(start, start.AddDate(0, 0, 15))
+		}
+	}()
+	cl.fs.KillAfterBytes(12 << 10)
+	cl.insertUntilKilled(t, 2, "retrain")
+	close(stopTrain)
+	trainWG.Wait()
+	cl.verifyFailover(t)
+}

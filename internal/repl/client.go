@@ -1,0 +1,158 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcbound/internal/resilience"
+	"mcbound/internal/wal"
+)
+
+// EpochHeader carries the leader's fencing epoch on every replication
+// response, so a follower can reject bytes from a deposed leader even
+// when the body itself is valid.
+const EpochHeader = "X-MCBound-Repl-Epoch"
+
+// ErrGone marks a 404 from the leader: the requested file was compacted
+// away (or never existed). The follower re-reads the manifest and, when
+// it fell behind the compaction horizon, re-syncs from the newest
+// snapshot instead of retrying the fetch.
+var ErrGone = errors.New("repl: file gone on leader")
+
+// ErrSourceNotLeader marks a 421 from the target: it is itself a
+// follower and cannot serve the replication stream.
+var ErrSourceNotLeader = errors.New("repl: source is not a leader")
+
+// ClientConfig tunes the replication client. Zero values select the
+// serving defaults (the same retry/breaker posture as the fetch stack).
+type ClientConfig struct {
+	// BaseURL is the leader's address, e.g. "http://leader:8080".
+	BaseURL string
+	// HTTP overrides the transport; nil selects a client with a 30 s
+	// overall timeout.
+	HTTP *http.Client
+	// Retry is the per-request retry policy (resilience defaults apply).
+	Retry resilience.Policy
+	// Breaker guards the leader connection as one health state.
+	Breaker resilience.BreakerConfig
+	// Seed drives the deterministic backoff jitter.
+	Seed uint64
+}
+
+// Client fetches the replication surface of a leader through the same
+// retry/breaker discipline as the fetch backend: jittered exponential
+// retries per request, one circuit breaker for the whole connection.
+type Client struct {
+	base string
+	hc   *http.Client
+	retr *resilience.Retrier
+	brk  *resilience.Breaker
+}
+
+// NewClient builds a replication client for the leader at cfg.BaseURL.
+func NewClient(cfg ClientConfig) *Client {
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{
+		base: strings.TrimRight(cfg.BaseURL, "/"),
+		hc:   hc,
+		retr: resilience.NewRetrier(cfg.Retry, cfg.Seed),
+		brk:  resilience.NewBreaker(cfg.Breaker),
+	}
+}
+
+// Breaker exposes the circuit breaker (health endpoints, telemetry).
+func (c *Client) Breaker() *resilience.Breaker { return c.brk }
+
+// do runs one replication request: breaker admission, then the retry
+// loop. Permanent answers (404, 421) do not count against the breaker.
+func do[T any](ctx context.Context, c *Client, op func(ctx context.Context) (T, error)) (T, error) {
+	if err := c.brk.Allow(); err != nil {
+		var zero T
+		return zero, err
+	}
+	v, err := resilience.Do(ctx, c.retr, op)
+	if err != nil && resilience.IsPermanent(err) && (errors.Is(err, ErrGone) || errors.Is(err, ErrSourceNotLeader)) {
+		c.brk.Record(nil) // the leader answered; the answer was "no"
+	} else {
+		c.brk.Record(err)
+	}
+	return v, err
+}
+
+// get issues one GET and classifies the status code for the retrier.
+func (c *Client) get(ctx context.Context, path string) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, nil, resilience.Permanent(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, wal.MaxChunkBytes+4096))
+	if err != nil {
+		return nil, nil, fmt.Errorf("repl: read response: %w", err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return body, resp.Header, nil
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrGone, path))
+	case resp.StatusCode == http.StatusMisdirectedRequest:
+		return nil, nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrSourceNotLeader, c.base))
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		return nil, nil, fmt.Errorf("repl: %s: status %d", path, resp.StatusCode)
+	default:
+		return nil, nil, resilience.Permanent(fmt.Errorf("repl: %s: status %d", path, resp.StatusCode))
+	}
+}
+
+// Manifest fetches the leader's replication manifest.
+func (c *Client) Manifest(ctx context.Context) (wal.Manifest, error) {
+	return do(ctx, c, func(ctx context.Context) (wal.Manifest, error) {
+		body, _, err := c.get(ctx, "/v1/wal/segments")
+		if err != nil {
+			return wal.Manifest{}, err
+		}
+		var m wal.Manifest
+		if err := json.Unmarshal(body, &m); err != nil {
+			return wal.Manifest{}, fmt.Errorf("repl: decode manifest: %w", err)
+		}
+		return m, nil
+	})
+}
+
+// Chunk fetches up to max bytes of a replicated file starting at off and
+// returns the bytes plus the epoch the leader stamped on the response.
+func (c *Client) Chunk(ctx context.Context, name string, off, max int64) ([]byte, uint64, error) {
+	type chunk struct {
+		data  []byte
+		epoch uint64
+	}
+	path := "/v1/wal/segments/" + url.PathEscape(name) +
+		"?offset=" + strconv.FormatInt(off, 10) + "&limit=" + strconv.FormatInt(max, 10)
+	ch, err := do(ctx, c, func(ctx context.Context) (chunk, error) {
+		body, hdr, err := c.get(ctx, path)
+		if err != nil {
+			return chunk{}, err
+		}
+		epoch, perr := strconv.ParseUint(hdr.Get(EpochHeader), 10, 64)
+		if perr != nil {
+			return chunk{}, fmt.Errorf("repl: bad %s header %q", EpochHeader, hdr.Get(EpochHeader))
+		}
+		return chunk{data: body, epoch: epoch}, nil
+	})
+	return ch.data, ch.epoch, err
+}

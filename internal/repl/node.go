@@ -1,0 +1,223 @@
+// Package repl implements leader/follower replication for the durable
+// store by shipping the leader's WAL over HTTP: followers bootstrap from
+// the newest snapshot, tail sealed and active segments up to the
+// leader's fsync watermark, and apply frames through the same callback
+// shape as crash recovery. A durable fencing epoch — bumped by every
+// promotion — is stamped on the manifest and every chunk, so a deposed
+// leader that keeps running cannot feed followers of its successor.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mcbound/internal/store"
+	"mcbound/internal/wal"
+)
+
+// Role is a node's position in the replication topology.
+type Role int
+
+const (
+	// RoleLeader accepts writes and serves the replication surface.
+	RoleLeader Role = iota
+	// RoleFollower applies the leader's stream and rejects writes.
+	RoleFollower
+)
+
+// String names the role for health endpoints.
+func (r Role) String() string {
+	if r == RoleFollower {
+		return "follower"
+	}
+	return "leader"
+}
+
+// ErrNotLeader is returned for operations only a leader can serve;
+// httpapi maps it to the typed not_leader redirect.
+var ErrNotLeader = errors.New("repl: not the leader")
+
+// ErrAlreadyLeader is returned by Promote on a node that already leads.
+var ErrAlreadyLeader = errors.New("repl: already the leader")
+
+// ErrNoLog is returned when the replication surface is asked of a
+// leader running without a durable log (nothing to ship).
+var ErrNoLog = errors.New("repl: no durable log to replicate")
+
+// PromotePlan tells a follower how to become a durable leader.
+type PromotePlan struct {
+	// Dir is the data directory the promoted leader writes; "" promotes
+	// to an in-memory leader (writes accepted, nothing replicable).
+	Dir string
+	// Store is the follower's live store, which becomes the leader state.
+	Store *store.Store
+	// Options configure the attached durable log (FS, fsync policy...).
+	Options store.DurableOptions
+}
+
+// NodeStatus is the replication section of /healthz.
+type NodeStatus struct {
+	Role     string          `json:"role"`
+	Epoch    uint64          `json:"epoch"`
+	Leader   string          `json:"leader,omitempty"` // followers: the leader URL
+	Follower *FollowerStatus `json:"follower,omitempty"`
+}
+
+// Node carries a process's replication role and everything needed to
+// change it: a leader holds the durable store whose WAL it serves; a
+// follower holds the tailing loop plus the plan to take over.
+type Node struct {
+	mu        sync.Mutex
+	role      Role
+	epoch     uint64
+	durable   *store.Durable
+	follower  *Follower
+	leaderURL string
+	plan      PromotePlan
+}
+
+// NewLeader wraps an existing durable store as the replication leader.
+// A nil durable is a leader without a log: writes work, but the
+// replication surface answers ErrNoLog.
+func NewLeader(d *store.Durable) *Node {
+	n := &Node{role: RoleLeader, durable: d}
+	if d != nil {
+		n.epoch = d.WAL().Epoch()
+	} else {
+		n.epoch = 1
+	}
+	return n
+}
+
+// NewFollowerNode wraps a running follower plus its takeover plan.
+// leaderURL is advertised in not_leader redirects.
+func NewFollowerNode(f *Follower, leaderURL string, plan PromotePlan) *Node {
+	return &Node{role: RoleFollower, follower: f, leaderURL: leaderURL, plan: plan}
+}
+
+// Role returns the current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// LeaderURL returns the leader's address as known by a follower ("" on
+// the leader itself).
+func (n *Node) LeaderURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RoleLeader {
+		return ""
+	}
+	return n.leaderURL
+}
+
+// Durable returns the durable store backing the write path: the seed
+// one on a leader, the attached one after a promotion, nil on a
+// follower (and on an in-memory promoted leader).
+func (n *Node) Durable() *store.Durable {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.durable
+}
+
+// Manifest serves the replication manifest (leaders with a log only).
+func (n *Node) Manifest() (wal.Manifest, error) {
+	n.mu.Lock()
+	role, d := n.role, n.durable
+	n.mu.Unlock()
+	if role != RoleLeader {
+		return wal.Manifest{}, ErrNotLeader
+	}
+	if d == nil {
+		return wal.Manifest{}, ErrNoLog
+	}
+	return d.WAL().Manifest()
+}
+
+// ReadChunk serves file bytes for the replication stream, returning the
+// chunk plus the epoch to stamp on the response.
+func (n *Node) ReadChunk(name string, off, max int64) ([]byte, uint64, error) {
+	n.mu.Lock()
+	role, d := n.role, n.durable
+	n.mu.Unlock()
+	if role != RoleLeader {
+		return nil, 0, ErrNotLeader
+	}
+	if d == nil {
+		return nil, 0, ErrNoLog
+	}
+	data, err := d.WAL().ReadChunk(name, off, max)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, d.WAL().Epoch(), nil
+}
+
+// Status reports the replication section of /healthz.
+func (n *Node) Status() NodeStatus {
+	n.mu.Lock()
+	role, epoch, f, leaderURL := n.role, n.epoch, n.follower, n.leaderURL
+	n.mu.Unlock()
+	st := NodeStatus{Role: role.String(), Epoch: epoch}
+	if role == RoleFollower && f != nil {
+		fs := f.Status()
+		st.Follower = &fs
+		st.Epoch = fs.Epoch
+		st.Leader = leaderURL
+	}
+	return st
+}
+
+// FollowerStatus returns the tailing status when this node follows
+// (nil on a leader) — the healthz/metrics fast path.
+func (n *Node) FollowerStatus() *FollowerStatus {
+	n.mu.Lock()
+	role, f := n.role, n.follower
+	n.mu.Unlock()
+	if role != RoleFollower || f == nil {
+		return nil
+	}
+	fs := f.Status()
+	return &fs
+}
+
+// Promote turns a follower into the leader: the tailing loop is stopped
+// (sealing the applied stream), the fencing epoch is durably bumped past
+// every epoch this follower has seen, and — when the plan names a data
+// dir — the follower's store is attached to a fresh durable log whose
+// first snapshot publishes the applied state, sequence numbering
+// continuing from the applied stream. Returns the new epoch.
+func (n *Node) Promote() (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RoleLeader {
+		return 0, ErrAlreadyLeader
+	}
+	n.follower.Stop()
+	fs := n.follower.Status()
+	newEpoch := fs.Epoch + 1
+	if n.plan.Dir != "" {
+		fsys := n.plan.Options.FS
+		if fsys == nil {
+			fsys = wal.OS
+		}
+		if stored, err := wal.ReadEpoch(fsys, n.plan.Dir); err == nil && stored >= newEpoch {
+			newEpoch = stored + 1
+		}
+		if err := wal.WriteEpoch(fsys, n.plan.Dir, newEpoch); err != nil {
+			return 0, fmt.Errorf("repl: promote: %w", err)
+		}
+		d, err := store.AttachDurable(n.plan.Dir, n.plan.Store, fs.AppliedSeq, n.plan.Options)
+		if err != nil {
+			return 0, fmt.Errorf("repl: promote: %w", err)
+		}
+		n.durable = d
+	}
+	n.role = RoleLeader
+	n.epoch = newEpoch
+	n.leaderURL = ""
+	return newEpoch, nil
+}

@@ -24,6 +24,9 @@ type DurableOptions struct {
 	// many records were logged since the last one; <= 0 disables
 	// automatic snapshots (Snapshot can still be called explicitly).
 	SnapshotEvery int
+	// BumpEpoch durably increments the replication fencing epoch before
+	// the log accepts writes (the -promote-on-start escape hatch).
+	BumpEpoch bool
 }
 
 // Durable wraps a Store with a write-ahead log: Insert returns only
@@ -64,6 +67,7 @@ func OpenDurable(dir string, seed *Store, opts DurableOptions) (*Durable, error)
 		Interval:       opts.Interval,
 		FS:             opts.FS,
 		AppendObserver: opts.AppendObserver,
+		BumpEpoch:      opts.BumpEpoch,
 	}, func(payload []byte) error {
 		var j job.Job
 		if err := json.Unmarshal(payload, &j); err != nil {
@@ -98,6 +102,14 @@ func OpenDurable(dir string, seed *Store, opts DurableOptions) (*Durable, error)
 // Store exposes the in-memory repository for the read paths (queries
 // never touch the log).
 func (d *Durable) Store() *Store { return d.s }
+
+// WAL exposes the underlying log — the replication source serves its
+// manifest and file chunks from it.
+func (d *Durable) WAL() *wal.WAL { return d.wal }
+
+// CommittedSeq is the durable record sequence of the log (see
+// wal.CommittedSeq).
+func (d *Durable) CommittedSeq() uint64 { return d.wal.CommittedSeq() }
 
 // Insert logs the jobs, applies them to memory, and returns once the
 // batch reached the durability point of the configured fsync policy.
@@ -167,14 +179,14 @@ func (d *Durable) snapshotAsync() {
 func (d *Durable) Snapshot() error {
 	d.mu.Lock()
 	jobs := d.s.All()
-	cover, err := d.wal.BeginSnapshot()
+	cover, base, err := d.wal.BeginSnapshot()
 	if err != nil {
 		d.mu.Unlock()
 		return err
 	}
 	d.sinceSnap.Store(0)
 	d.mu.Unlock()
-	return d.wal.CompleteSnapshot(cover, func(emit func([]byte) error) error {
+	return d.wal.CompleteSnapshot(cover, base, func(emit func([]byte) error) error {
 		for _, j := range jobs {
 			b, err := json.Marshal(j)
 			if err != nil {
@@ -186,6 +198,62 @@ func (d *Durable) Snapshot() error {
 		}
 		return nil
 	})
+}
+
+// AttachDurable wires an already-materialized store over dir: the log is
+// opened read-write discarding its replayed records (st is expected to
+// already contain them, plus whatever replicated tail arrived beyond the
+// local disk state), the sequence base is raised to baseSeq, and an
+// immediate snapshot publishes st so the directory converges to the
+// in-memory state. The promotion path uses it to turn a follower's store
+// into a durable leader store after WriteEpoch fenced the old leader.
+func AttachDurable(dir string, st *Store, baseSeq uint64, opts DurableOptions) (*Durable, error) {
+	w, rec, err := wal.Open(dir, wal.Options{
+		SegmentBytes:   opts.SegmentBytes,
+		Policy:         opts.Policy,
+		Interval:       opts.Interval,
+		FS:             opts.FS,
+		AppendObserver: opts.AppendObserver,
+		BumpEpoch:      opts.BumpEpoch,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	w.SetBaseSeq(baseSeq)
+	d := &Durable{
+		s:         st,
+		wal:       w,
+		observer:  opts.AppendObserver,
+		snapEvery: opts.SnapshotEvery,
+		recovery:  rec,
+	}
+	d.lastSnapErr.Store("")
+	if err := d.Snapshot(); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("store: attach snapshot: %w", err)
+	}
+	return d, nil
+}
+
+// LoadReadOnly replays the durable state under dir into a fresh Store
+// without mutating the directory in any way (wal read-only mode): no
+// torn-tail truncation, no quarantine renames, no fresh segment. A
+// follower uses it to warm-start from a previous leader's data dir it
+// does not own.
+func LoadReadOnly(dir string, fsys wal.FS) (*Store, wal.Recovery, error) {
+	s := New()
+	w, rec, err := wal.Open(dir, wal.Options{FS: fsys, ReadOnly: true}, func(payload []byte) error {
+		var j job.Job
+		if err := json.Unmarshal(payload, &j); err != nil {
+			return fmt.Errorf("store: replay record: %w", err)
+		}
+		return s.Insert(&j)
+	})
+	if err != nil {
+		return nil, rec, err
+	}
+	w.Close()
+	return s, rec, nil
 }
 
 // Close waits for any background snapshot and closes the log, flushing

@@ -14,6 +14,7 @@ package wal_test
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"mcbound/internal/stats"
@@ -187,8 +188,10 @@ func TestCrashBitRotInColdSegmentQuarantines(t *testing.T) {
 	w.Close()
 	var victim string
 	for _, name := range fs.DurableNames() {
-		victim = name // alphabetical: first .seg is the oldest
-		break
+		if strings.HasSuffix(name, ".seg") {
+			victim = name // alphabetical: first .seg is the oldest
+			break
+		}
 	}
 	if !fs.FlipDurableTail(victim, 50) {
 		t.Fatalf("could not corrupt %s", victim)

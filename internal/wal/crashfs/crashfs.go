@@ -220,6 +220,20 @@ func (f *FS) Truncate(name string, size int64) error {
 	return nil
 }
 
+// Stat implements wal.FS.
+func (f *FS) Stat(name string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkAlive(); err != nil {
+		return 0, err
+	}
+	mf, ok := f.files[name]
+	if !ok {
+		return 0, fmt.Errorf("crashfs: stat %s: file does not exist", name)
+	}
+	return int64(len(mf.content)), nil
+}
+
 // ReadDir implements wal.FS.
 func (f *FS) ReadDir(dir string) ([]string, error) {
 	f.mu.Lock()

@@ -26,6 +26,8 @@ type FS interface {
 	Truncate(name string, size int64) error
 	// ReadDir lists the base names inside dir, sorted.
 	ReadDir(dir string) ([]string, error)
+	// Stat returns the current size of name in bytes.
+	Stat(name string) (int64, error)
 	// MkdirAll ensures dir exists.
 	MkdirAll(dir string) error
 	// SyncDir fsyncs the directory itself so renames and creates inside
@@ -68,6 +70,14 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+func (osFS) Stat(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
 }
 
 func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }

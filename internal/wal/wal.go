@@ -77,6 +77,15 @@ type Options struct {
 	// AppendObserver, when set, receives the latency of every
 	// AppendBatch in seconds (reserve to durability point).
 	AppendObserver func(seconds float64)
+	// ReadOnly opens the log for inspection and replay only: recovery
+	// never deletes, truncates, renames or creates anything, and every
+	// mutating method returns ErrReadOnly. Followers and operator tools
+	// use it so they cannot mutate state they do not own.
+	ReadOnly bool
+	// BumpEpoch durably increments the fencing epoch before the log
+	// accepts appends — the promotion path uses it so segments written by
+	// a deposed leader are rejected by followers of the new one.
+	BumpEpoch bool
 }
 
 // ErrCorruptSegment is wrapped by Recovery.Failure when a bad frame sits
@@ -89,6 +98,9 @@ var ErrCorruptSegment = errors.New("wal: corrupt segment")
 // ErrClosed is returned by appends against a closed or failed WAL.
 var ErrClosed = errors.New("wal: closed")
 
+// ErrReadOnly is returned by mutating methods of a read-only WAL.
+var ErrReadOnly = errors.New("wal: read-only")
+
 // Recovery describes what Open rebuilt from disk.
 type Recovery struct {
 	// SnapshotSeq is the sequence of the snapshot that seeded replay; 0
@@ -98,6 +110,11 @@ type Recovery struct {
 	// the apply callback from the snapshot and the segments.
 	SnapshotRecords int
 	SegmentRecords  int
+	// SnapshotBase is the record sequence the snapshot covered — the
+	// count of log records ever appended below it, which differs from
+	// SnapshotRecords once updates overwrite earlier records. Replication
+	// lag accounting resumes from SnapshotBase + SegmentRecords.
+	SnapshotBase uint64
 	// TornTailTruncations counts bad frames found at the writable tail
 	// and cut off (the expected shape after a crash mid-write).
 	TornTailTruncations int
@@ -147,20 +164,24 @@ type WAL struct {
 	segLimit int64
 	policy   Policy
 	observer func(float64)
+	readOnly bool
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	seg      File
-	segName  string
-	segSeq   uint64
-	segSize  int64
-	pending  []byte
-	nextLSN  uint64 // records reserved
-	written  uint64 // records written to the segment file
-	durable  uint64 // records covered by an fsync
-	flushing bool
-	closed   bool
-	sticky   error
+	mu           sync.Mutex
+	cond         *sync.Cond
+	seg          File
+	segName      string
+	segSeq       uint64
+	segSize      int64
+	durableBytes int64 // fsynced prefix of the active segment (replication watermark)
+	pending      []byte
+	nextLSN      uint64 // records reserved
+	written      uint64 // records written to the segment file
+	durable      uint64 // records covered by an fsync
+	recoveredSeq uint64 // record sequence the last Open recovered up to
+	epoch        uint64 // fencing epoch, durable in the epoch file
+	flushing     bool
+	closed       bool
+	sticky       error
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -175,13 +196,15 @@ type WAL struct {
 	lastRecovery Recovery
 }
 
-// Snapshot file framing: a magic header frame, one frame per record,
-// and a seal frame carrying the record count. The seal makes partial
-// content detectable even though the rename publishing the file is
-// atomic — bit rot or a tampered file fails either a frame CRC or the
-// seal check and the loader falls back to the previous snapshot.
+// Snapshot file framing: a magic header frame, an optional base frame
+// carrying the covered record sequence, one frame per record, and a seal
+// frame carrying the record count. The seal makes partial content
+// detectable even though the rename publishing the file is atomic — bit
+// rot or a tampered file fails either a frame CRC or the seal check and
+// the loader falls back to the previous snapshot.
 const (
 	snapshotMagic = "mcbound-snapshot-v1"
+	basePrefix    = "base:"
 	sealPrefix    = "end:"
 )
 
@@ -226,8 +249,15 @@ func Open(dir string, opts Options, apply func(payload []byte) error) (*WAL, Rec
 	if apply == nil {
 		apply = func([]byte) error { return nil }
 	}
-	if err := fsys.MkdirAll(dir); err != nil {
-		return nil, Recovery{}, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	if opts.ReadOnly && opts.BumpEpoch {
+		return nil, Recovery{}, fmt.Errorf("wal: BumpEpoch requires a writable log")
+	}
+	if !opts.ReadOnly {
+		// A read-only open must not mutate anything, directory creation
+		// included: opening a missing dir read-only fails in recovery.
+		if err := fsys.MkdirAll(dir); err != nil {
+			return nil, Recovery{}, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+		}
 	}
 
 	w := &WAL{
@@ -236,15 +266,41 @@ func Open(dir string, opts Options, apply func(payload []byte) error) (*WAL, Rec
 		segLimit: opts.SegmentBytes,
 		policy:   opts.Policy,
 		observer: opts.AppendObserver,
+		readOnly: opts.ReadOnly,
 		stop:     make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
+
+	stored, err := ReadEpoch(fsys, dir)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("wal: read epoch: %w", err)
+	}
+	w.epoch = stored
+	if w.epoch == 0 {
+		w.epoch = 1
+	}
+	if opts.BumpEpoch {
+		w.epoch++
+	}
+	if !opts.ReadOnly && w.epoch != stored {
+		if err := WriteEpoch(fsys, dir, w.epoch); err != nil {
+			return nil, Recovery{}, fmt.Errorf("wal: write epoch: %w", err)
+		}
+	}
 
 	rec, maxSeq, liveSegs, err := w.recover(apply)
 	if err != nil {
 		return nil, rec, err
 	}
 	w.lastRecovery = rec
+	w.recoveredSeq = rec.SnapshotBase + uint64(rec.SegmentRecords)
+
+	if opts.ReadOnly {
+		// No active segment: the log stays exactly as found on disk.
+		w.segSeq = maxSeq
+		w.segments.Store(int64(liveSegs))
+		return w, rec, nil
+	}
 
 	// Appends always start a fresh segment: recovered segments are never
 	// reopened for writing, so a truncated tail can never be overwritten
@@ -288,7 +344,9 @@ func (w *WAL) recover(apply func([]byte) error) (Recovery, uint64, int, error) {
 		full := filepath.Join(w.dir, name)
 		if strings.HasSuffix(name, ".tmp") {
 			// Interrupted atomic write; the target was never published.
-			w.fs.Remove(full)
+			if !w.readOnly {
+				w.fs.Remove(full)
+			}
 			continue
 		}
 		if seq, ok := parseSeq(name, "wal-", ".seg"); ok {
@@ -309,18 +367,22 @@ func (w *WAL) recover(apply func([]byte) error) (Recovery, uint64, int, error) {
 	sortSeqs(snapSeqs)
 
 	// Newest loadable snapshot wins; broken ones are quarantined so the
-	// next boot does not stumble over them again.
+	// next boot does not stumble over them again (in read-only mode they
+	// are reported but left untouched on disk).
 	var snapRecords [][]byte
 	for i := len(snapSeqs) - 1; i >= 0; i-- {
 		seq := snapSeqs[i]
 		path := filepath.Join(w.dir, snapshotName(seq))
-		records, err := w.loadSnapshot(path)
+		base, records, err := w.loadSnapshot(path)
 		if err != nil {
-			w.fs.Rename(path, path+".corrupt")
+			if !w.readOnly {
+				w.fs.Rename(path, path+".corrupt")
+			}
 			rec.QuarantinedSnapshots = append(rec.QuarantinedSnapshots, snapshotName(seq))
 			continue
 		}
 		rec.SnapshotSeq = seq
+		rec.SnapshotBase = base
 		snapRecords = records
 		break
 	}
@@ -338,7 +400,9 @@ func (w *WAL) recover(apply func([]byte) error) (Recovery, uint64, int, error) {
 	for idx, seq := range segSeqs {
 		path := segs[seq]
 		if seq < rec.SnapshotSeq {
-			w.fs.Remove(path)
+			if !w.readOnly {
+				w.fs.Remove(path)
+			}
 			continue
 		}
 		if rec.Failure != nil {
@@ -360,15 +424,21 @@ func (w *WAL) recover(apply func([]byte) error) (Recovery, uint64, int, error) {
 		}
 		if idx == len(segSeqs)-1 {
 			// Bad frame at the very tail of the newest segment: the
-			// classic torn write. Cut it off and carry on.
-			if terr := w.fs.Truncate(path, int64(off)); terr != nil {
-				return rec, 0, 0, fmt.Errorf("wal: truncate torn tail of %s: %w", path, terr)
+			// classic torn write. Cut it off and carry on — unless the log
+			// is read-only, where the torn bytes stay on disk for the
+			// owner to repair and replay simply stops before them.
+			if !w.readOnly {
+				if terr := w.fs.Truncate(path, int64(off)); terr != nil {
+					return rec, 0, 0, fmt.Errorf("wal: truncate torn tail of %s: %w", path, terr)
+				}
 			}
 			rec.TornTailTruncations++
 			live++
 			continue
 		}
-		w.fs.Rename(path, path+".corrupt")
+		if !w.readOnly {
+			w.fs.Rename(path, path+".corrupt")
+		}
 		rec.QuarantinedSegments = append(rec.QuarantinedSegments, filepath.Base(path))
 		rec.Failure = fmt.Errorf("%w: %s at offset %d: %v", ErrCorruptSegment, filepath.Base(path), off, derr)
 	}
@@ -397,35 +467,56 @@ func (w *WAL) replaySegment(data []byte, apply func([]byte) error) (records, off
 }
 
 // loadSnapshot validates the whole snapshot file before returning its
-// record payloads: magic first frame, per-frame CRCs, and a seal frame
-// with a matching record count. Any failure invalidates the file.
-func (w *WAL) loadSnapshot(path string) ([][]byte, error) {
+// base sequence and record payloads.
+func (w *WAL) loadSnapshot(path string) (uint64, [][]byte, error) {
 	data, err := w.fs.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
+	return DecodeSnapshot(data)
+}
+
+// DecodeSnapshot validates a snapshot image — magic first frame,
+// per-frame CRCs, and a seal frame with a matching record count — and
+// returns its base sequence plus the record payloads. The base is the
+// count of log records the snapshot covers; snapshots written before the
+// base frame existed fall back to the record count, which matches for
+// insert-only histories. Any validation failure invalidates the file.
+func DecodeSnapshot(data []byte) (base uint64, records [][]byte, err error) {
 	payload, rest, err := DecodeFrame(data)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	if string(payload) != snapshotMagic {
-		return nil, fmt.Errorf("wal: bad snapshot magic %q", payload)
+		return 0, nil, fmt.Errorf("wal: bad snapshot magic %q", payload)
 	}
-	var records [][]byte
+	haveBase := false
 	for {
 		payload, rest, err = DecodeFrame(rest)
 		if err != nil {
-			return nil, err
+			return 0, nil, err
+		}
+		if !haveBase && len(records) == 0 && strings.HasPrefix(string(payload), basePrefix) {
+			b, perr := strconv.ParseUint(strings.TrimPrefix(string(payload), basePrefix), 10, 64)
+			if perr != nil {
+				return 0, nil, fmt.Errorf("wal: bad snapshot base %q", payload)
+			}
+			base = b
+			haveBase = true
+			continue
 		}
 		if strings.HasPrefix(string(payload), sealPrefix) {
 			n, perr := strconv.Atoi(strings.TrimPrefix(string(payload), sealPrefix))
 			if perr != nil || n != len(records) {
-				return nil, fmt.Errorf("wal: snapshot seal %q does not match %d records", payload, len(records))
+				return 0, nil, fmt.Errorf("wal: snapshot seal %q does not match %d records", payload, len(records))
 			}
 			if len(rest) != 0 {
-				return nil, fmt.Errorf("wal: %d trailing bytes after snapshot seal", len(rest))
+				return 0, nil, fmt.Errorf("wal: %d trailing bytes after snapshot seal", len(rest))
 			}
-			return records, nil
+			if !haveBase {
+				base = uint64(len(records))
+			}
+			return base, records, nil
 		}
 		records = append(records, payload)
 	}
@@ -473,6 +564,9 @@ func (w *WAL) AppendBatch(payloads [][]byte) error {
 func (w *WAL) Reserve(payloads [][]byte) (lsn uint64, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.readOnly {
+		return 0, ErrReadOnly
+	}
 	if w.closed {
 		return 0, ErrClosed
 	}
@@ -554,6 +648,7 @@ func (w *WAL) flushLocked(sync bool) {
 		} else {
 			w.fsyncs.Add(1)
 			w.lastFsyncNs.Store(time.Now().UnixNano())
+			w.durableBytes = w.segSize
 		}
 	}
 
@@ -594,6 +689,7 @@ func (w *WAL) rotate() error {
 	w.seg = seg
 	w.segName = name
 	w.segSize = 0
+	w.durableBytes = 0
 	w.rotations.Add(1)
 	w.segments.Add(1)
 	return nil
@@ -636,26 +732,31 @@ func (w *WAL) fsyncLoop(every time.Duration) {
 
 // BeginSnapshot seals the log for a snapshot: it flushes and fsyncs
 // everything pending, rotates to a fresh segment, and returns that
-// segment's sequence — the snapshot's coverage point. Every record
-// reserved before the call lives in segments below the returned seq;
-// the caller must therefore include them all in the snapshot content
-// (hold your apply lock across state capture and BeginSnapshot).
-func (w *WAL) BeginSnapshot() (cover uint64, err error) {
+// segment's sequence — the snapshot's coverage point — plus the base
+// record sequence the snapshot will cover (every record ever appended,
+// for replication lag accounting). Every record reserved before the
+// call lives in segments below the returned seq; the caller must
+// therefore include them all in the snapshot content (hold your apply
+// lock across state capture and BeginSnapshot).
+func (w *WAL) BeginSnapshot() (cover, base uint64, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for w.flushing {
 		w.cond.Wait()
 	}
+	if w.readOnly {
+		return 0, 0, ErrReadOnly
+	}
 	if w.closed {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	if w.sticky != nil {
-		return 0, w.sticky
+		return 0, 0, w.sticky
 	}
 	if w.pending != nil || w.durable < w.nextLSN {
 		w.flushLocked(true)
 		if w.sticky != nil {
-			return 0, w.sticky
+			return 0, 0, w.sticky
 		}
 	}
 	// Rotation needs the flushing token to touch the segment fields.
@@ -669,19 +770,23 @@ func (w *WAL) BeginSnapshot() (cover uint64, err error) {
 	}
 	w.cond.Broadcast()
 	if w.sticky != nil {
-		return 0, w.sticky
+		return 0, 0, w.sticky
 	}
-	return w.segSeq, nil
+	return w.segSeq, w.recoveredSeq + w.nextLSN, nil
 }
 
 // CompleteSnapshot publishes the snapshot covering everything below
-// cover (from BeginSnapshot) and compacts: the file is written with the
-// temp+rename+dir-fsync ritual, then obsolete segments and older
-// snapshots are deleted. fill must emit every record of the captured
-// state via emit.
-func (w *WAL) CompleteSnapshot(cover uint64, fill func(emit func(payload []byte) error) error) error {
+// cover (from BeginSnapshot, together with base) and compacts: the file
+// is written with the temp+rename+dir-fsync ritual, then obsolete
+// segments and older snapshots are deleted. fill must emit every record
+// of the captured state via emit.
+func (w *WAL) CompleteSnapshot(cover, base uint64, fill func(emit func(payload []byte) error) error) error {
+	if w.readOnly {
+		return ErrReadOnly
+	}
 	var buf []byte
 	buf = AppendFrame(buf, []byte(snapshotMagic))
+	buf = AppendFrame(buf, []byte(basePrefix+strconv.FormatUint(base, 10)))
 	count := 0
 	err := fill(func(payload []byte) error {
 		if len(payload) > MaxFramePayload {
@@ -740,11 +845,11 @@ func (w *WAL) compact(cover uint64) error {
 // without their own ordering concerns (tests, tools). fill runs after
 // the coverage point is sealed.
 func (w *WAL) Snapshot(fill func(emit func(payload []byte) error) error) error {
-	cover, err := w.BeginSnapshot()
+	cover, base, err := w.BeginSnapshot()
 	if err != nil {
 		return err
 	}
-	return w.CompleteSnapshot(cover, fill)
+	return w.CompleteSnapshot(cover, base, fill)
 }
 
 // Close flushes pending records durably and closes the active segment.
