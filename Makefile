@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt fuzz chaos chaos-repl stress crash replay-e2e check bench bench-index bench-repl bench-all
+.PHONY: all build test race vet fmt fuzz chaos chaos-repl chaos-elect stress crash replay-e2e check bench bench-index bench-repl bench-failover bench-all
 
 all: check
 
@@ -50,6 +50,15 @@ fuzz:
 chaos-repl:
 	$(GO) test -race -count=1 -run 'ReplChaos' ./internal/repl
 
+# Election chaos suite: three live nodes under seeded heartbeat
+# blackholes, wedged leader disks (mid-group-commit / mid-compaction),
+# hard kills and asymmetric partitions; asserts at most one node holds
+# an ackable lease at any sampled instant, zero acked-write loss across
+# every unassisted failover, and bounded time-to-new-leader, under the
+# race detector.
+chaos-elect:
+	$(GO) test -race -count=1 -run 'ElectChaos' ./internal/election
+
 # Overload stress: drives the admission controller and the full HTTP
 # serving path through a 10x concurrency burst under the race detector
 # and checks the shed-accounting identity holds exactly.
@@ -71,7 +80,7 @@ crash:
 replay-e2e:
 	$(GO) test -race -count=1 -run 'ReplayE2E' ./internal/replay
 
-check: build vet fmt race chaos chaos-repl stress crash fuzz replay-e2e bench-index
+check: build vet fmt race chaos chaos-repl chaos-elect stress crash fuzz replay-e2e bench-index
 
 # Serving-path perf trajectory: single classify hot/cold in the
 # embedding cache, 1000-job batch serial vs. all cores, full train.
@@ -89,6 +98,12 @@ bench-index:
 # promoted leader lost any acknowledged insert.
 bench-repl:
 	$(GO) run ./cmd/mcbound-bench -scenario repl -out BENCH_serving.json
+
+# Unassisted failover trajectory: >= 20 seeded leader kills under live
+# electors; records leader-death → first-accepted-write p50/p99 with no
+# operator promote; exits 1 on any acked-write loss.
+bench-failover:
+	$(GO) run ./cmd/mcbound-bench -scenario failover -out BENCH_serving.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

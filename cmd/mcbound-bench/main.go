@@ -114,11 +114,20 @@ type report struct {
 	ReplLagP99Ns      int64 `json:"repl_lag_p99_ns"`
 	ReplFailoverNs    int64 `json:"repl_failover_ns"`
 	ReplFailoverAcked int64 `json:"repl_failover_acked_records"`
+
+	// Self-driving failover: leader-death → first-accepted-write time
+	// with live electors and no operator promote, over seeded hard kills
+	// of fresh three-node clusters (the run aborts with exit 1 if the
+	// self-elected successor lost any acknowledged insert).
+	FailoverKills int   `json:"failover_kills"`
+	FailoverP50Ns int64 `json:"failover_p50_ns"`
+	FailoverP99Ns int64 `json:"failover_p99_ns"`
+	FailoverAcked int64 `json:"failover_acked_records"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_serving.json", "output JSON path")
-	scenario := flag.String("scenario", "all", `scenarios to run: "serving", "index", "repl", or "all"`)
+	scenario := flag.String("scenario", "all", `scenarios to run: "serving", "index", "repl", "failover", or "all"`)
 	flag.Parse()
 	if err := run(*out, *scenario); err != nil {
 		fmt.Fprintln(os.Stderr, "mcbound-bench:", err)
@@ -128,9 +137,9 @@ func main() {
 
 func run(out, scenario string) error {
 	switch scenario {
-	case "all", "serving", "index", "repl":
+	case "all", "serving", "index", "repl", "failover":
 	default:
-		return fmt.Errorf(`unknown -scenario %q (want "serving", "index", "repl", or "all")`, scenario)
+		return fmt.Errorf(`unknown -scenario %q (want "serving", "index", "repl", "failover", or "all")`, scenario)
 	}
 	// A partial run merges into the prior report so the untouched
 	// scenario's numbers survive.
@@ -154,6 +163,11 @@ func run(out, scenario string) error {
 	}
 	if scenario == "all" || scenario == "repl" {
 		if err := benchRepl(&rep); err != nil {
+			return err
+		}
+	}
+	if scenario == "all" || scenario == "failover" {
+		if err := benchFailover(&rep); err != nil {
 			return err
 		}
 	}

@@ -16,6 +16,15 @@
 //	mcbound-server -generate -data-dir /var/lib/mcbound            # leader
 //	mcbound-server -follow http://leader:8080 -data-dir /var/lib/mcbound-f -port 8081
 //	mcbound-server -promote-on-start -data-dir /var/lib/mcbound-f  # lead over inherited state
+//
+// With -node-id and -peers the node runs under the lease-based elector:
+// the leader heartbeats a quorum-acknowledged lease, followers detect
+// its death and elect a successor unassisted (see DESIGN.md §8.8):
+//
+//	mcbound-server -generate -data-dir /var/lib/m1 -node-id n1 \
+//	    -peers 'n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080'
+//	mcbound-server -follow http://h1:8080 -data-dir /var/lib/m2 -node-id n2 \
+//	    -peers 'n1=http://h1:8080,n2=http://h2:8080,n3=http://h3:8080'
 package main
 
 import (
@@ -31,7 +40,9 @@ import (
 	"time"
 
 	"mcbound/internal/admission"
+	"mcbound/internal/cluster"
 	"mcbound/internal/core"
+	"mcbound/internal/election"
 	"mcbound/internal/encode"
 	"mcbound/internal/experiments"
 	"mcbound/internal/fetch"
@@ -101,6 +112,14 @@ type options struct {
 	maxLag         time.Duration
 	promoteOnStart bool
 	retrainJitter  float64
+
+	// Leader election (self-driving failover).
+	nodeID          string
+	peers           string
+	leaseTTL        time.Duration
+	heartbeatEvery  time.Duration
+	electionTimeout time.Duration
+	maxMissed       int
 }
 
 func main() {
@@ -146,6 +165,12 @@ func main() {
 	flag.DurationVar(&o.maxLag, "max-lag", 15*time.Second, "replication lag before follower /healthz reports lagging")
 	flag.BoolVar(&o.promoteOnStart, "promote-on-start", false, "boot as leader over an inherited -data-dir with a bumped fencing epoch (fences the previous leader)")
 	flag.Float64Var(&o.retrainJitter, "retrain-jitter", core.DefaultRetrainJitter, "fraction of -retrain-every each cron interval is jittered by (seeded; 0 = fixed period)")
+	flag.StringVar(&o.nodeID, "node-id", "", "this node's stable ID in the -peers list (enables the lease-based elector)")
+	flag.StringVar(&o.peers, "peers", "", "static cluster membership as id=url,id=url,... (must include -node-id)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 3*time.Second, "leadership lease TTL: quorum acks older than this fence the write path")
+	flag.DurationVar(&o.heartbeatEvery, "heartbeat-every", 500*time.Millisecond, "follower lease-poll / leader lease-refresh cadence")
+	flag.DurationVar(&o.electionTimeout, "election-timeout", time.Second, "base election backoff; each candidate draws uniformly from [T, 2T)")
+	flag.IntVar(&o.maxMissed, "max-missed", 3, "consecutive missed heartbeats before a follower suspects the leader")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -260,8 +285,9 @@ func run(o options) error {
 	// recovery, and carries the plan to take over on POST /v1/promote.
 	var node *repl.Node
 	var follower *repl.Follower
+	var replClient *repl.Client
 	if following {
-		client := repl.NewClient(repl.ClientConfig{
+		replClient = repl.NewClient(repl.ClientConfig{
 			BaseURL: o.follow,
 			Retry: resilience.Policy{
 				MaxAttempts: o.fetchAttempts,
@@ -275,7 +301,7 @@ func run(o options) error {
 		})
 		var err error
 		follower, err = repl.NewFollower(repl.FollowerConfig{
-			Client: client,
+			Client: replClient,
 			Apply: func(payload []byte) error {
 				var j job.Job
 				if jerr := json.Unmarshal(payload, &j); jerr != nil {
@@ -283,7 +309,10 @@ func run(o options) error {
 				}
 				return st.Insert(&j)
 			},
-			Poll:   o.followPoll,
+			Poll: o.followPoll,
+			// Seeded ±jitter keeps a fleet of followers from polling the
+			// leader in lockstep.
+			Seed:   o.seed,
 			MaxLag: o.maxLag,
 			Logf:   log.Printf,
 		})
@@ -298,6 +327,54 @@ func run(o options) error {
 	} else if durable != nil {
 		node = repl.NewLeader(durable)
 		log.Printf("replication leader: epoch %d, serving WAL at /v1/wal/segments", durable.WAL().Epoch())
+	}
+
+	// Lease-based elector: with -node-id/-peers the cluster drives its
+	// own failover — the leader's writes are fenced the moment quorum
+	// acks go stale, and followers elect a successor unassisted.
+	var elector *election.Elector
+	if o.peers != "" || o.nodeID != "" {
+		if o.peers == "" || o.nodeID == "" {
+			return fmt.Errorf("-node-id and -peers go together (got node-id=%q peers=%q)", o.nodeID, o.peers)
+		}
+		if node == nil {
+			return fmt.Errorf("-peers requires a replication role: lead with -data-dir or follow with -follow")
+		}
+		members, merr := cluster.ParsePeers(o.nodeID, o.peers)
+		if merr != nil {
+			return fmt.Errorf("bad -peers: %w", merr)
+		}
+		ecfg := election.Config{
+			Members:         members,
+			Node:            node,
+			LeaseTTL:        o.leaseTTL,
+			HeartbeatEvery:  o.heartbeatEvery,
+			MaxMissed:       o.maxMissed,
+			ElectionTimeout: o.electionTimeout,
+			Seed:            o.seed,
+			LeaseDir:        o.dataDir,
+			Logf:            log.Printf,
+		}
+		if follower != nil {
+			client := replClient
+			ecfg.OnLeaderChange = func(u string) {
+				node.SetLeaderURL(u)
+				client.Redirect(u)
+			}
+			// Before self-promoting, drain whatever durable prefix the old
+			// leader can still serve, so no acknowledged write is left
+			// behind a fenced epoch.
+			ecfg.BeforePromote = election.FinalDrain(follower, 10*time.Second)
+		}
+		el, elErr := election.New(ecfg)
+		if elErr != nil {
+			return fmt.Errorf("election: %w", elErr)
+		}
+		elector = el
+		go elector.Run(ctx)
+		defer elector.Stop()
+		log.Printf("elector armed: node %s in %d-member cluster (quorum %d, lease %v, heartbeat %v)",
+			o.nodeID, members.Size(), members.Quorum(), o.leaseTTL, o.heartbeatEvery)
 	}
 
 	// Fetch chain: store → optional fault injection → retries + breaker.
@@ -431,6 +508,7 @@ func run(o options) error {
 		DefaultDeadline: o.defaultDeadline,
 		Durable:         durable,
 		Repl:            node,
+		Elector:         elector,
 		Replay:          replayMgr,
 		StreamBatchSize: o.streamBatch,
 		SSEBufferSize:   o.sseBuffer,

@@ -8,6 +8,7 @@ import (
 
 	"mcbound/internal/admission"
 	"mcbound/internal/core"
+	"mcbound/internal/election"
 	"mcbound/internal/job"
 	"mcbound/internal/repl"
 	"mcbound/internal/replay"
@@ -38,6 +39,8 @@ const (
 	codeNotLeader    = "not_leader"
 	codeIsLeader     = "already_leader"
 	codeNoRepl       = "replication_disabled"
+	codeLeaseLost    = "lease_lost"
+	codeNoLease      = "no_lease"
 	codeCanceled     = "canceled"
 	codeDeadline     = "deadline_exceeded"
 	codeBreakerOpen  = "breaker_open"
@@ -81,6 +84,13 @@ func errToStatus(err error) (status int, code string) {
 		return http.StatusConflict, codeIsLeader
 	case errors.Is(err, repl.ErrNoLog):
 		return http.StatusConflict, codeNoRepl
+	case errors.Is(err, election.ErrLeaseLost):
+		// 503, not 421: the node is still the highest-epoch leader it
+		// knows of, it just cannot prove it holds quorum. The client
+		// retries against the cluster and lands wherever the lease went.
+		return http.StatusServiceUnavailable, codeLeaseLost
+	case errors.Is(err, election.ErrNoLease):
+		return http.StatusServiceUnavailable, codeNoLease
 	case errors.Is(err, replay.ErrConflict):
 		return http.StatusConflict, codeReplayBusy
 	case errors.Is(err, replay.ErrNotActive):

@@ -23,10 +23,14 @@ func (s *Server) currentDurable() *store.Durable {
 	return nil
 }
 
-// leaderOnly fences a write route: on a follower the request is
-// rejected with the typed not_leader code (421) and a Location header
-// naming the leader, so a client or proxy can redirect the write
-// instead of losing it.
+// leaderOnly fences a write route twice over: on a follower the request
+// is rejected with the typed not_leader code (421) and a Location
+// header naming the leader, so a client or proxy can redirect the write
+// instead of losing it; on a leader running under an elector, the
+// leadership lease must be held — the instant quorum acks go stale the
+// write path answers the typed lease_lost 503 (retryable against the
+// cluster once a successor leads), which is what makes "at most one
+// acking leader" true during partitions.
 func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.repl != nil && s.repl.Role() == repl.RoleFollower {
@@ -37,6 +41,12 @@ func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
 			}
 			s.writeError(w, err)
 			return
+		}
+		if s.elector != nil {
+			if err := s.elector.CheckWritable(); err != nil {
+				s.writeError(w, err)
+				return
+			}
 		}
 		h(w, r)
 	}
@@ -88,9 +98,18 @@ func (s *Server) handleReplChunk(w http.ResponseWriter, r *http.Request) {
 
 // handlePromote flips a follower into the leader role, durably bumping
 // the fencing epoch so the previous leader's stream is rejected
-// everywhere from now on.
-func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
-	epoch, err := s.repl.Promote()
+// everywhere from now on. Under an elector the promotion routes through
+// it, so manual and elected promotions serialize on one term sequence:
+// exactly one of two concurrent promotions wins, the loser gets the
+// typed already_leader conflict.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var epoch uint64
+	var err error
+	if s.elector != nil {
+		epoch, err = s.elector.PromoteManual(r.Context())
+	} else {
+		epoch, err = s.repl.Promote()
+	}
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -21,6 +21,9 @@
 //	GET    /v1/wal/segments              replication manifest (epoch, committed seq, files)
 //	GET    /v1/wal/segments/{name}       ranged segment/snapshot bytes (?offset=&limit=)
 //	POST   /v1/promote                   promote this follower to leader (fences the old epoch)
+//	GET    /v1/lease                     leadership lease document (leader's own or follower's relay)
+//	POST   /v1/lease/ack                 heartbeat acknowledgment / election vote request
+//	GET    /v1/cluster                   membership, roles, terms and failover counters
 //
 // All payloads are JSON; timestamps are RFC 3339. Range endpoints
 // paginate with opaque resumable cursors (?cursor=, {items, next_cursor,
@@ -53,6 +56,7 @@ import (
 
 	"mcbound/internal/admission"
 	"mcbound/internal/core"
+	"mcbound/internal/election"
 	"mcbound/internal/job"
 	"mcbound/internal/repl"
 	"mcbound/internal/replay"
@@ -117,6 +121,16 @@ type Options struct {
 	// through this handler.
 	Replay *replay.Manager
 
+	// Elector, when set, is the lease-based leader elector this node runs
+	// under: the GET /v1/lease + POST /v1/lease/ack heartbeat surface and
+	// GET /v1/cluster are mounted, leader writes are additionally fenced
+	// by the lease (typed lease_lost 503 the instant quorum acks go
+	// stale), POST /v1/promote routes through the elector so manual and
+	// elected promotions serialize on one term sequence, /healthz grows a
+	// "cluster" section and the mcbound_cluster_* collectors are
+	// registered. Requires Repl (the elector drives the node's role).
+	Elector *election.Elector
+
 	// Repl, when set, is this process's replication role: the manifest
 	// and segment-fetch routes plus POST /v1/promote are mounted, write
 	// routes are fenced with the typed not_leader redirect on a
@@ -156,6 +170,7 @@ type Server struct {
 	durable         *store.Durable
 	replayMgr       *replay.Manager
 	repl            *repl.Node
+	elector         *election.Elector
 	hub             *predHub
 	streamBatch     int
 	sseBuffer       int
@@ -210,6 +225,7 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 		durable:         opts.Durable,
 		replayMgr:       opts.Replay,
 		repl:            opts.Repl,
+		elector:         opts.Elector,
 		hub:             newPredHub(opts.SSEBufferSize),
 		streamBatch:     opts.StreamBatchSize,
 		sseBuffer:       opts.SSEBufferSize,
@@ -227,6 +243,9 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 	}
 	if s.repl != nil {
 		registerReplMetrics(s.reg, s.repl)
+	}
+	if s.elector != nil {
+		registerClusterMetrics(s.reg, s.elector)
 	}
 	// Route priorities: the inference hot path is Interactive, bulk
 	// range/batch endpoints are Batch, retraining is Background (capped
@@ -260,6 +279,13 @@ func New(fw *core.Framework, st *store.Store, logger *log.Logger, opts Options) 
 		s.route("GET /v1/wal/segments/{name}", s.guard(admission.Background, s.handleReplChunk))
 		// Promotion is the failover lever; it must work under duress.
 		s.route("POST /v1/promote", s.guard(admission.Critical, s.handlePromote))
+	}
+	if s.elector != nil {
+		// The heartbeat surface is Critical for the same reason /healthz
+		// is: overload must not masquerade as leader death.
+		s.route("GET /v1/lease", s.guard(admission.Critical, s.handleLeaseGet))
+		s.route("POST /v1/lease/ack", s.guard(admission.Critical, s.handleLeaseAck))
+		s.route("GET /v1/cluster", s.guard(admission.Interactive, s.handleClusterStatus))
 	}
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	if opts.EnablePprof {
@@ -371,6 +397,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	if replStatus != nil {
 		body["replication"] = replStatus
+	}
+	if s.elector != nil {
+		cst := s.elector.Status()
+		body["cluster"] = cst
+		// A leader that cannot prove its lease must fail readiness, or
+		// the front door keeps routing writes into lease_lost rejections.
+		if s.elector.IsLeader() && !cst.LeaseHeld && httpStatus == http.StatusOK {
+			status, httpStatus = "lease_lost", http.StatusServiceUnavailable
+			body["status"] = status
+		}
 	}
 	if s.replayMgr != nil {
 		st := s.replayMgr.Status()

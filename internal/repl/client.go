@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mcbound/internal/resilience"
@@ -47,10 +48,20 @@ type ClientConfig struct {
 	Seed uint64
 }
 
+// maxRedirectHops bounds how many 421 Location redirects one request
+// will chase before giving up — long enough to cross a promotion chain,
+// short enough that two confused followers pointing at each other fail
+// fast instead of ping-ponging.
+const maxRedirectHops = 3
+
 // Client fetches the replication surface of a leader through the same
 // retry/breaker discipline as the fetch backend: jittered exponential
 // retries per request, one circuit breaker for the whole connection.
+// The base URL is mutable: a 421 not_leader answer carrying a Location
+// redirect is followed (bounded hops) and the working leader is adopted
+// permanently, so clients survive promotions without a restart.
 type Client struct {
+	mu   sync.RWMutex
 	base string
 	hc   *http.Client
 	retr *resilience.Retrier
@@ -74,6 +85,46 @@ func NewClient(cfg ClientConfig) *Client {
 // Breaker exposes the circuit breaker (health endpoints, telemetry).
 func (c *Client) Breaker() *resilience.Breaker { return c.brk }
 
+// Base returns the current target (the leader as this client knows it).
+func (c *Client) Base() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
+}
+
+// Redirect repoints the client at a new leader and resets the breaker,
+// so failures charged to the dead leader do not block the live one. The
+// elector calls it on leader change; get() calls it after a successful
+// 421-redirect chase.
+func (c *Client) Redirect(url string) {
+	url = strings.TrimRight(url, "/")
+	if url == "" {
+		return
+	}
+	c.mu.Lock()
+	changed := c.base != url
+	if changed {
+		c.base = url
+	}
+	c.mu.Unlock()
+	if changed {
+		c.brk.Reset()
+	}
+}
+
+// redirectTarget extracts "scheme://host" from a 421 Location header
+// (which carries the full redirected URL, path included).
+func redirectTarget(loc string) string {
+	if loc == "" {
+		return ""
+	}
+	u, err := url.Parse(loc)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return ""
+	}
+	return u.Scheme + "://" + u.Host
+}
+
 // do runs one replication request: breaker admission, then the retry
 // loop. Permanent answers (404, 421) do not count against the breaker.
 func do[T any](ctx context.Context, c *Client, op func(ctx context.Context) (T, error)) (T, error) {
@@ -90,32 +141,48 @@ func do[T any](ctx context.Context, c *Client, op func(ctx context.Context) (T, 
 	return v, err
 }
 
-// get issues one GET and classifies the status code for the retrier.
+// get issues one GET and classifies the status code for the retrier. A
+// 421 not_leader carrying a Location redirect is chased (bounded hops);
+// when the chase lands on a node that answers, that node is adopted as
+// the new base for every later request.
 func (c *Client) get(ctx context.Context, path string) ([]byte, http.Header, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, nil, resilience.Permanent(err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, wal.MaxChunkBytes+4096))
-	if err != nil {
-		return nil, nil, fmt.Errorf("repl: read response: %w", err)
-	}
-	switch {
-	case resp.StatusCode == http.StatusOK:
-		return body, resp.Header, nil
-	case resp.StatusCode == http.StatusNotFound:
-		return nil, nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrGone, path))
-	case resp.StatusCode == http.StatusMisdirectedRequest:
-		return nil, nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrSourceNotLeader, c.base))
-	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
-		return nil, nil, fmt.Errorf("repl: %s: status %d", path, resp.StatusCode)
-	default:
-		return nil, nil, resilience.Permanent(fmt.Errorf("repl: %s: status %d", path, resp.StatusCode))
+	base := c.Base()
+	visited := map[string]bool{base: true}
+	for hop := 0; ; hop++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, nil, resilience.Permanent(err)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, wal.MaxChunkBytes+4096))
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("repl: read response: %w", err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if hop > 0 {
+				c.Redirect(base)
+			}
+			return body, resp.Header, nil
+		case resp.StatusCode == http.StatusNotFound:
+			return nil, nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrGone, path))
+		case resp.StatusCode == http.StatusMisdirectedRequest:
+			target := redirectTarget(resp.Header.Get("Location"))
+			if target != "" && !visited[target] && hop < maxRedirectHops {
+				visited[target] = true
+				base = target
+				continue
+			}
+			return nil, nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrSourceNotLeader, base))
+		case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+			return nil, nil, fmt.Errorf("repl: %s: status %d", path, resp.StatusCode)
+		default:
+			return nil, nil, resilience.Permanent(fmt.Errorf("repl: %s: status %d", path, resp.StatusCode))
+		}
 	}
 }
 

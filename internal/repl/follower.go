@@ -9,8 +9,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcbound/internal/stats"
 	"mcbound/internal/wal"
 )
+
+// DefaultPollJitter is the ± fraction of the poll cadence a follower's
+// fetch rounds are spread over (FollowerConfig.PollJitter = 0 selects
+// it; mirror of the retrain cron's DefaultRetrainJitter).
+const DefaultPollJitter = 0.10
 
 // Follower states, as /healthz reports them: a load balancer keeps "ok"
 // replicas, ejects "lagging" ones (stale model risk) and "disconnected"
@@ -41,6 +47,13 @@ type FollowerConfig struct {
 	Apply func(payload []byte) error
 	// Poll is the manifest poll cadence; <= 0 selects 250 ms.
 	Poll time.Duration
+	// PollJitter spreads each poll uniformly over Poll·(1±jitter) so a
+	// restarted fleet doesn't synchronize its fetch rounds against one
+	// leader (the same shape as the retrain cron's seeded jitter). 0
+	// selects DefaultPollJitter; negative disables jitter entirely.
+	PollJitter float64
+	// Seed drives the deterministic poll jitter.
+	Seed uint64
 	// MaxLag is how long the follower may run behind before /healthz
 	// turns "lagging"; <= 0 selects 15 s.
 	MaxLag time.Duration
@@ -82,6 +95,8 @@ type Follower struct {
 	cl         *Client
 	apply      func([]byte) error
 	poll       time.Duration
+	pollJitter float64
+	rng        *stats.RNG // poll jitter; Run goroutine only
 	maxLag     time.Duration
 	discAfter  time.Duration
 	chunkBytes int64
@@ -127,6 +142,14 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 250 * time.Millisecond
 	}
+	switch {
+	case cfg.PollJitter == 0:
+		cfg.PollJitter = DefaultPollJitter
+	case cfg.PollJitter < 0:
+		cfg.PollJitter = 0
+	case cfg.PollJitter > 1:
+		cfg.PollJitter = 1
+	}
 	if cfg.MaxLag <= 0 {
 		cfg.MaxLag = 15 * time.Second
 	}
@@ -149,6 +172,8 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 		cl:         cfg.Client,
 		apply:      cfg.Apply,
 		poll:       cfg.Poll,
+		pollJitter: cfg.PollJitter,
+		rng:        stats.NewRNG(cfg.Seed),
 		maxLag:     cfg.MaxLag,
 		discAfter:  cfg.DisconnectAfter,
 		chunkBytes: cfg.ChunkBytes,
@@ -192,8 +217,23 @@ func (f *Follower) Run(ctx context.Context) {
 		case <-t.C:
 		}
 		f.syncOnce(ctx)
-		t.Reset(f.poll)
+		t.Reset(f.nextPoll())
 	}
+}
+
+// nextPoll draws the next poll delay: uniform over poll·(1±jitter),
+// never below 1 ms. Only the Run goroutine calls it, so the RNG needs
+// no lock.
+func (f *Follower) nextPoll() time.Duration {
+	if f.pollJitter <= 0 {
+		return f.poll
+	}
+	spread := 1 - f.pollJitter + 2*f.pollJitter*f.rng.Float64()
+	d := time.Duration(float64(f.poll) * spread)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // Stop halts the sync loop and waits for it to exit (promotion seals the

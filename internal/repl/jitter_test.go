@@ -1,0 +1,67 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+func newJitterFollower(t *testing.T, jitter float64, seed uint64) *Follower {
+	t.Helper()
+	f, err := NewFollower(FollowerConfig{
+		Client:     NewClient(ClientConfig{BaseURL: "http://unused"}),
+		Apply:      func([]byte) error { return nil },
+		Poll:       100 * time.Millisecond,
+		PollJitter: jitter,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPollJitterSpreadsWithinBand(t *testing.T) {
+	f := newJitterFollower(t, 0, 42) // 0 selects the ±10% default
+	lo, hi := 90*time.Millisecond, 110*time.Millisecond
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := f.nextPoll()
+		if d < lo || d > hi {
+			t.Fatalf("poll %v outside [%v, %v]", d, lo, hi)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 100 {
+		t.Fatalf("jitter produced only %d distinct delays", len(distinct))
+	}
+}
+
+func TestPollJitterDeterministicPerSeed(t *testing.T) {
+	a, b := newJitterFollower(t, 0, 7), newJitterFollower(t, 0, 7)
+	c := newJitterFollower(t, 0, 8)
+	same, diff := true, false
+	for i := 0; i < 50; i++ {
+		av := a.nextPoll()
+		if av != b.nextPoll() {
+			same = false
+		}
+		if av != c.nextPoll() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different poll sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical poll sequences")
+	}
+}
+
+func TestPollJitterDisabled(t *testing.T) {
+	f := newJitterFollower(t, -1, 1)
+	for i := 0; i < 10; i++ {
+		if d := f.nextPoll(); d != 100*time.Millisecond {
+			t.Fatalf("jitter disabled but poll = %v", d)
+		}
+	}
+}

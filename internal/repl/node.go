@@ -184,13 +184,31 @@ func (n *Node) FollowerStatus() *FollowerStatus {
 	return &fs
 }
 
+// SetLeaderURL repoints a follower's advertised leader (the not_leader
+// redirect target) after the elector discovers a new one. A no-op on a
+// leader.
+func (n *Node) SetLeaderURL(url string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RoleFollower {
+		n.leaderURL = url
+	}
+}
+
 // Promote turns a follower into the leader: the tailing loop is stopped
 // (sealing the applied stream), the fencing epoch is durably bumped past
 // every epoch this follower has seen, and — when the plan names a data
 // dir — the follower's store is attached to a fresh durable log whose
 // first snapshot publishes the applied state, sequence numbering
 // continuing from the applied stream. Returns the new epoch.
-func (n *Node) Promote() (uint64, error) {
+func (n *Node) Promote() (uint64, error) { return n.PromoteAtLeast(0) }
+
+// PromoteAtLeast is Promote with a floor on the new fencing epoch: the
+// elector passes the term its election was won at, so the new leader's
+// epoch is strictly above every epoch this follower streamed AND at or
+// above every term the cluster voted on — a deposed leader can neither
+// feed followers nor win back a lease without a fresh, higher election.
+func (n *Node) PromoteAtLeast(minEpoch uint64) (uint64, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.role == RoleLeader {
@@ -199,6 +217,9 @@ func (n *Node) Promote() (uint64, error) {
 	n.follower.Stop()
 	fs := n.follower.Status()
 	newEpoch := fs.Epoch + 1
+	if newEpoch < minEpoch {
+		newEpoch = minEpoch
+	}
 	if n.plan.Dir != "" {
 		fsys := n.plan.Options.FS
 		if fsys == nil {

@@ -1,0 +1,163 @@
+package repl_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mcbound/internal/repl"
+	"mcbound/internal/store"
+)
+
+// serve421 stands up a follower-shaped node: every replication request
+// answers 421 with a Location pointing at target() (empty = no header),
+// the way httpapi's leaderOnly middleware advertises the leader.
+func serve421(t *testing.T, target func() string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if u := target(); u != "" {
+			w.Header().Set("Location", u+r.URL.RequestURI())
+		}
+		http.Error(w, "not the leader", http.StatusMisdirectedRequest)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newLeaderServer(t *testing.T, jobs int) (*store.Durable, *httptest.Server) {
+	t.Helper()
+	seed := store.New()
+	for i := 0; i < jobs; i++ {
+		seed.Insert(mkJob(fmt.Sprintf("redir-%03d", i)))
+	}
+	d, err := store.OpenDurable(t.TempDir(), seed, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	node := repl.NewLeader(d)
+	return d, serveNode(t, func() *repl.Node { return node })
+}
+
+func TestClientFollowsNotLeaderRedirect(t *testing.T) {
+	d, leader := newLeaderServer(t, 5)
+	follower := serve421(t, func() string { return leader.URL })
+
+	// Pointed at a follower: the 421 Location chase lands on the leader
+	// and adopts it as the new base.
+	cl := repl.NewClient(repl.ClientConfig{BaseURL: follower.URL, Seed: 3})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	m, err := cl.Manifest(ctx)
+	if err != nil {
+		t.Fatalf("Manifest through redirect: %v", err)
+	}
+	if m.CommittedSeq != d.CommittedSeq() {
+		t.Fatalf("manifest seq %d, want %d", m.CommittedSeq, d.CommittedSeq())
+	}
+	if cl.Base() != leader.URL {
+		t.Fatalf("base after redirect = %q, want %q", cl.Base(), leader.URL)
+	}
+
+	// The adoption is permanent: chunks fetch straight from the leader.
+	if len(m.Segments) == 0 {
+		t.Fatal("manifest reported no segments")
+	}
+	if _, _, err := cl.Chunk(ctx, m.Segments[0].Name, 0, 64); err != nil {
+		t.Fatalf("chunk after redirect: %v", err)
+	}
+}
+
+func TestClientRedirectChainIsBounded(t *testing.T) {
+	// Two followers pointing at each other: the chase must stop at the
+	// hop bound with the typed permanent error, not spin.
+	var aURL, bURL string
+	a := serve421(t, func() string { return bURL })
+	b := serve421(t, func() string { return aURL })
+	aURL, bURL = a.URL, b.URL
+
+	cl := repl.NewClient(repl.ClientConfig{BaseURL: a.URL, Seed: 3})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := cl.Manifest(ctx)
+	if !errors.Is(err, repl.ErrSourceNotLeader) {
+		t.Fatalf("redirect loop: %v, want ErrSourceNotLeader", err)
+	}
+	if cl.Base() != a.URL {
+		t.Fatalf("failed chase moved the base to %q", cl.Base())
+	}
+}
+
+func TestClientRedirectWithoutLocationStaysPermanent(t *testing.T) {
+	f := serve421(t, func() string { return "" })
+	cl := repl.NewClient(repl.ClientConfig{BaseURL: f.URL, Seed: 3})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cl.Manifest(ctx); !errors.Is(err, repl.ErrSourceNotLeader) {
+		t.Fatalf("bare 421: %v, want ErrSourceNotLeader", err)
+	}
+}
+
+func TestClientRedirectResetsBreaker(t *testing.T) {
+	_, leader := newLeaderServer(t, 1)
+	cl := repl.NewClient(repl.ClientConfig{BaseURL: "http://127.0.0.1:1", Seed: 3})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Hammer the dead address until the breaker opens.
+	for i := 0; i < 10 && cl.Breaker().Opens() == 0; i++ {
+		cl.Manifest(ctx)
+	}
+	if cl.Breaker().Opens() == 0 {
+		t.Fatal("breaker never opened against a dead leader")
+	}
+	// Redirect (the elector's leader-change path) must clear the state
+	// charged to the dead address.
+	cl.Redirect(leader.URL)
+	if _, err := cl.Manifest(ctx); err != nil {
+		t.Fatalf("manifest after Redirect: %v", err)
+	}
+}
+
+func TestPromoteAtLeastFloorsEpoch(t *testing.T) {
+	_, leader := newLeaderServer(t, 3)
+	f, fst := newFollowerPair(t, leader.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	node := repl.NewFollowerNode(f, leader.URL, repl.PromotePlan{Dir: t.TempDir(), Store: fst})
+	if node.LeaderURL() != leader.URL {
+		t.Fatalf("LeaderURL = %q", node.LeaderURL())
+	}
+	node.SetLeaderURL("http://elsewhere:9")
+	if node.LeaderURL() != "http://elsewhere:9" {
+		t.Fatalf("SetLeaderURL not applied: %q", node.LeaderURL())
+	}
+
+	// The follower streamed epoch 1; an election won at term 40 must
+	// land the new leader at epoch 40, not 2.
+	epoch, err := node.PromoteAtLeast(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 40 {
+		t.Fatalf("PromoteAtLeast(40) epoch = %d", epoch)
+	}
+	if node.Durable() == nil {
+		t.Fatal("promotion attached no durable store")
+	}
+	defer node.Durable().Close()
+	if node.LeaderURL() != "" {
+		t.Fatalf("leader still advertises %q", node.LeaderURL())
+	}
+	// SetLeaderURL is a follower-only mutation.
+	node.SetLeaderURL("http://nope:1")
+	if node.LeaderURL() != "" {
+		t.Fatal("SetLeaderURL mutated a leader")
+	}
+}

@@ -180,6 +180,21 @@ func (b *Breaker) Opens() int64 {
 	return b.opens
 }
 
+// Reset closes the breaker and clears its counters (the lifetime trip
+// count survives). Callers use it when the guarded endpoint changes
+// identity — e.g. a replication client redirected to a new leader —
+// so failures charged to the old endpoint do not block the new one.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	from := b.state
+	b.state = Closed
+	b.fails = 0
+	b.probes = 0
+	b.probing = false
+	b.mu.Unlock()
+	b.notify(from, Closed)
+}
+
 // tripLocked moves to Open from any state. Caller holds b.mu.
 func (b *Breaker) tripLocked() {
 	b.state = Open

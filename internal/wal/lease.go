@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+)
+
+// The leadership lease lives next to the epoch file: a small JSON record
+// of the current term, its holder, and the TTL the holder promised.
+// ReadChunk only serves segment/snapshot names, so the lease — like the
+// epoch file — is never shipped to followers; they learn lease state over
+// the GET /v1/lease surface instead.
+const leaseFile = "lease"
+
+// Lease is the durable leadership record. Term equals the WAL fencing
+// epoch the holder leads under; observers compute expiry from their own
+// receipt time plus TTLSeconds, never from the holder's clock.
+type Lease struct {
+	Term            uint64  `json:"term"`
+	HolderID        string  `json:"holder_id"`
+	HolderURL       string  `json:"holder_url"`
+	TTLSeconds      float64 `json:"ttl_seconds"`
+	RenewedUnixNano int64   `json:"renewed_unix_nano"`
+}
+
+// ReadLease returns the lease recorded under dir; ok is false when none
+// has been written yet.
+func ReadLease(fsys FS, dir string) (Lease, bool, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	found := false
+	for _, n := range names {
+		if n == leaseFile {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Lease{}, false, nil
+	}
+	data, err := fsys.ReadFile(filepath.Join(dir, leaseFile))
+	if err != nil {
+		return Lease{}, false, err
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Lease{}, false, fmt.Errorf("wal: parse lease file: %w", err)
+	}
+	return l, true, nil
+}
+
+// WriteLease durably records the leadership lease under dir with the
+// atomic-replace ritual. Electors persist on acquisition and term change,
+// not on every renewal — the durable copy answers "who led last" after a
+// restart, not "is the lease fresh".
+func WriteLease(fsys FS, dir string, l Lease) error {
+	if fsys == nil {
+		fsys = OS
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("wal: encode lease: %w", err)
+	}
+	return WriteFileAtomic(fsys, filepath.Join(dir, leaseFile), append(data, '\n'))
+}
+
+// Err reports the WAL's sticky failure: nil while healthy, or the first
+// I/O error that wedged the log (every later append returns it too). The
+// elector uses this to tell "my disk died" apart from "I am fine" — a
+// wedged leader abdicates its lease so a follower can take over, while
+// its manifest keeps serving the durable prefix for the final drain.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sticky
+}

@@ -1,0 +1,142 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLeaseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadLease(OS, dir); err != nil || ok {
+		t.Fatalf("ReadLease on empty dir = ok=%v, %v; want absent, nil", ok, err)
+	}
+	in := Lease{
+		Term:            7,
+		HolderID:        "n2",
+		HolderURL:       "http://n2:8080",
+		TTLSeconds:      3.5,
+		RenewedUnixNano: 1720000000000000000,
+	}
+	if err := WriteLease(OS, dir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := ReadLease(OS, dir)
+	if err != nil || !ok {
+		t.Fatalf("ReadLease = ok=%v, %v", ok, err)
+	}
+	if out != in {
+		t.Fatalf("lease round trip: got %+v, want %+v", out, in)
+	}
+
+	// Overwrite is atomic-replace: the newer term wins, no merge.
+	in.Term, in.HolderID = 9, "n0"
+	if err := WriteLease(OS, dir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, _, _ = ReadLease(OS, dir)
+	if out.Term != 9 || out.HolderID != "n0" {
+		t.Fatalf("rewritten lease = %+v", out)
+	}
+}
+
+func TestLeaseCorruptFileFailsRead(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "lease"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLease(OS, dir); err == nil {
+		t.Fatal("corrupt lease file read without error")
+	}
+}
+
+func TestLeaseIsNotReplicable(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := openCollect(t, dir, Options{})
+	defer w.Close()
+	if err := WriteLease(OS, dir, Lease{Term: 1, HolderID: "n0"}); err != nil {
+		t.Fatal(err)
+	}
+	// The lease, like the epoch file, must never ship to followers.
+	if _, err := w.ReadChunk("lease", 0, 64); err == nil {
+		t.Fatal("ReadChunk served the lease file")
+	}
+	m, err := w.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range append(m.Segments, m.Snapshots...) {
+		if f.Name == "lease" {
+			t.Fatal("manifest listed the lease file")
+		}
+	}
+}
+
+// wedgeFS wraps OS and, once armed, fails every file write/fsync — the
+// "disk died under a running leader" shape without crashfs (which lives
+// in a subpackage that imports wal).
+type wedgeFS struct {
+	FS
+	armed atomic.Bool
+}
+
+func (f *wedgeFS) Create(name string) (File, error) {
+	file, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &wedgeFile{File: file, fs: f}, nil
+}
+
+type wedgeFile struct {
+	File
+	fs *wedgeFS
+}
+
+func (wf *wedgeFile) Write(p []byte) (int, error) {
+	if wf.fs.armed.Load() {
+		return 0, errors.New("wedgefs: write fault")
+	}
+	return wf.File.Write(p)
+}
+
+func (wf *wedgeFile) Sync() error {
+	if wf.fs.armed.Load() {
+		return errors.New("wedgefs: fsync fault")
+	}
+	return wf.File.Sync()
+}
+
+func TestWALErrReportsStickyFailure(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &wedgeFS{FS: OS}
+	w, _, err := Open(dir, Options{FS: fsys}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([]byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("healthy WAL Err() = %v, want nil", err)
+	}
+	fsys.armed.Store(true)
+	if err := w.Append([]byte("doomed")); err == nil {
+		t.Fatal("append over a dead disk acknowledged")
+	}
+	if err := w.Err(); err == nil {
+		t.Fatal("sticky failure not surfaced through Err()")
+	}
+	// The manifest must keep serving the durable prefix of a wedged log —
+	// that is what lets a follower drain before taking over.
+	m, err := w.Manifest()
+	if err != nil {
+		t.Fatalf("manifest on wedged WAL: %v", err)
+	}
+	if m.CommittedSeq != 1 {
+		t.Fatalf("wedged manifest CommittedSeq = %d, want 1", m.CommittedSeq)
+	}
+}
