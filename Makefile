@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt fuzz chaos chaos-repl chaos-elect stress crash replay-e2e check bench bench-index bench-repl bench-failover bench-all
+.PHONY: all build test race vet fmt fuzz chaos chaos-repl chaos-elect chaos-router stress crash replay-e2e check bench bench-index bench-repl bench-failover bench-router bench-all
 
 all: check
 
@@ -59,6 +59,14 @@ chaos-repl:
 chaos-elect:
 	$(GO) test -race -count=1 -run 'ElectChaos' ./internal/election
 
+# Front-door chaos suite: seeded dead-backend + 10×-slow-backend reads
+# with zero client-observed errors and a bounded p99, a leader kill
+# mid-write-stream with at most one hard failure before the 421 chase
+# re-points, a backend kill mid-SSE, and a router restart mid-SSE with
+# Last-Event-ID continuity — all under the race detector.
+chaos-router:
+	$(GO) test -race -count=1 -run 'RouterChaos' ./internal/router
+
 # Overload stress: drives the admission controller and the full HTTP
 # serving path through a 10x concurrency burst under the race detector
 # and checks the shed-accounting identity holds exactly.
@@ -80,7 +88,7 @@ crash:
 replay-e2e:
 	$(GO) test -race -count=1 -run 'ReplayE2E' ./internal/replay
 
-check: build vet fmt race chaos chaos-repl chaos-elect stress crash fuzz replay-e2e bench-index
+check: build vet fmt race chaos chaos-repl chaos-elect chaos-router stress crash fuzz replay-e2e bench-index
 
 # Serving-path perf trajectory: single classify hot/cold in the
 # embedding cache, 1000-job batch serial vs. all cores, full train.
@@ -104,6 +112,12 @@ bench-repl:
 # operator promote; exits 1 on any acked-write loss.
 bench-failover:
 	$(GO) run ./cmd/mcbound-bench -scenario failover -out BENCH_serving.json
+
+# Front-door trajectory: read p50/p99 through the router healthy vs
+# one-dead-one-10×-slow, router overhead over a direct read, hedge and
+# retry counts; exits 1 if any degraded read errors to the client.
+bench-router:
+	$(GO) run ./cmd/mcbound-bench -scenario router -out BENCH_serving.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

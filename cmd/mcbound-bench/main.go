@@ -123,11 +123,24 @@ type report struct {
 	FailoverP50Ns int64 `json:"failover_p50_ns"`
 	FailoverP99Ns int64 `json:"failover_p99_ns"`
 	FailoverAcked int64 `json:"failover_acked_records"`
+
+	// Cluster front door: read latency through the router on a healthy
+	// three-node fleet vs the chaos shape (one backend dead, one 10×
+	// slow), the router's p50 cost over a direct backend read, and the
+	// hedges/retries that kept the degraded tail flat. The run aborts
+	// with exit 1 if any degraded read surfaces an error to the client.
+	RouterHealthyP50Ns  int64 `json:"router_healthy_p50_ns"`
+	RouterHealthyP99Ns  int64 `json:"router_healthy_p99_ns"`
+	RouterDegradedP50Ns int64 `json:"router_degraded_p50_ns"`
+	RouterDegradedP99Ns int64 `json:"router_degraded_p99_ns"`
+	RouterOverheadNs    int64 `json:"router_overhead_ns"`
+	RouterHedges        int64 `json:"router_hedges"`
+	RouterRetries       int64 `json:"router_retries"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_serving.json", "output JSON path")
-	scenario := flag.String("scenario", "all", `scenarios to run: "serving", "index", "repl", "failover", or "all"`)
+	scenario := flag.String("scenario", "all", `scenarios to run: "serving", "index", "repl", "failover", "router", or "all"`)
 	flag.Parse()
 	if err := run(*out, *scenario); err != nil {
 		fmt.Fprintln(os.Stderr, "mcbound-bench:", err)
@@ -137,9 +150,9 @@ func main() {
 
 func run(out, scenario string) error {
 	switch scenario {
-	case "all", "serving", "index", "repl", "failover":
+	case "all", "serving", "index", "repl", "failover", "router":
 	default:
-		return fmt.Errorf(`unknown -scenario %q (want "serving", "index", "repl", "failover", or "all")`, scenario)
+		return fmt.Errorf(`unknown -scenario %q (want "serving", "index", "repl", "failover", "router", or "all")`, scenario)
 	}
 	// A partial run merges into the prior report so the untouched
 	// scenario's numbers survive.
@@ -168,6 +181,11 @@ func run(out, scenario string) error {
 	}
 	if scenario == "all" || scenario == "failover" {
 		if err := benchFailover(&rep); err != nil {
+			return err
+		}
+	}
+	if scenario == "all" || scenario == "router" {
+		if err := benchRouter(&rep); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,251 @@
+package main
+
+// The router scenario: read latency through the cluster front door on
+// a healthy three-node fleet versus the chaos shape the design commits
+// to — one backend dead, one 10× slow — plus the router's added cost
+// over a direct backend read. The degraded pass must surface zero
+// errors to the client (hedges and budget-bounded retries absorb the
+// failures) or the whole bench run aborts with exit 1.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mcbound/internal/cluster"
+	"mcbound/internal/resilience"
+	"mcbound/internal/router"
+)
+
+const (
+	routerWarmReads     = 300
+	routerDegradedReads = 400
+)
+
+// routerBenchNode is a minimal backend for the front-door bench: the
+// health document the router probes, instant JSON reads, leader-only
+// writes with a 421 redirect — and the two chaos knobs, kill and slow.
+type routerBenchNode struct {
+	id  string
+	srv *httptest.Server
+
+	mu        sync.Mutex
+	role      string
+	leaderURL string
+	down      bool
+	delay     time.Duration
+}
+
+func newRouterBenchNode(id, role string) *routerBenchNode {
+	n := &routerBenchNode{id: id, role: role}
+	n.srv = httptest.NewServer(http.HandlerFunc(n.handle))
+	return n
+}
+
+func (n *routerBenchNode) url() string { return n.srv.URL }
+
+func (n *routerBenchNode) set(fn func(n *routerBenchNode)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(n)
+}
+
+func (n *routerBenchNode) handle(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	role, leaderURL, down, delay := n.role, n.leaderURL, n.down, n.delay
+	n.mu.Unlock()
+
+	if down {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		doc := map[string]any{
+			"status": "ok",
+			"replication": map[string]any{
+				"role":   role,
+				"leader": leaderURL,
+				"follower": map[string]any{
+					"state": "ok", "replication_lag_seconds": 0.0,
+				},
+			},
+			"cluster": map[string]any{
+				"self": n.id, "role": role,
+				"lease_held": role == "leader", "leader_url": leaderURL,
+			},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(doc)
+		return
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"backend": n.id})
+		return
+	}
+	if role != "leader" {
+		w.Header().Set("Location", leaderURL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		io.WriteString(w, `{"error":"not the leader","code":"not_leader"}`)
+		return
+	}
+	io.Copy(io.Discard, r.Body)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"backend": n.id, "accepted": true})
+}
+
+func benchRouter(rep *report) error {
+	fmt.Println("benchmarking cluster front door (healthy vs dead+slow fleet)...")
+
+	n1 := newRouterBenchNode("n1", "leader")
+	n2 := newRouterBenchNode("n2", "follower")
+	n3 := newRouterBenchNode("n3", "follower")
+	defer n1.srv.Close()
+	defer n2.srv.Close()
+	defer n3.srv.Close()
+	lead := n1.url()
+	for _, n := range []*routerBenchNode{n1, n2, n3} {
+		n.set(func(n *routerBenchNode) { n.leaderURL = lead })
+	}
+
+	rt, err := router.New(router.Config{
+		Backends: []cluster.Member{
+			{ID: "n1", URL: n1.url()},
+			{ID: "n2", URL: n2.url()},
+			{ID: "n3", URL: n3.url()},
+		},
+		HedgeAfterMin:  2 * time.Millisecond,
+		PollEvery:      50 * time.Millisecond,
+		ForwardTimeout: 5 * time.Second,
+		RetryBudget:    resilience.BudgetConfig{Tokens: 50, Ratio: 0.1},
+		Seed:           20260807,
+	})
+	if err != nil {
+		return err
+	}
+	rt.RefreshNow(context.Background())
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	read := func(base string, i int) (time.Duration, int, error) {
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/model", nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		req.Header.Set("X-Client-Id", fmt.Sprintf("tenant-%d", i%23))
+		t0 := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return time.Since(t0), 0, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return time.Since(t0), resp.StatusCode, nil
+	}
+
+	// Direct baseline: the same read straight at one healthy backend.
+	var direct []time.Duration
+	for i := 0; i < routerWarmReads; i++ {
+		d, code, err := read(n2.url(), i)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("direct read %d: status %d", i, code)
+		}
+		direct = append(direct, d)
+	}
+
+	// Healthy pass through the router; also fills the hedge reservoirs.
+	var healthy []time.Duration
+	for i := 0; i < routerWarmReads; i++ {
+		d, code, err := read(front.URL, i)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("healthy routed read %d: status %d", i, code)
+		}
+		healthy = append(healthy, d)
+	}
+	healthyP50, healthyP99 := durQuantile(healthy, 0.50), durQuantile(healthy, 0.99)
+	directP50 := durQuantile(direct, 0.50)
+
+	// Chaos shape: n3 dies, n2 turns 10× slow (floored so a fast local
+	// baseline still produces a meaningful delay).
+	slowBy := 10 * healthyP99
+	if slowBy < 20*time.Millisecond {
+		slowBy = 20 * time.Millisecond
+	}
+	n3.set(func(n *routerBenchNode) { n.down = true })
+	n2.set(func(n *routerBenchNode) { n.delay = slowBy })
+	rt.RefreshNow(context.Background())
+
+	var degraded []time.Duration
+	for i := 0; i < routerDegradedReads; i++ {
+		d, code, err := read(front.URL, i)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("degraded routed read %d: status %d — the front door must absorb a dead and a slow backend", i, code)
+		}
+		degraded = append(degraded, d)
+	}
+
+	// A write still lands on the leader through the degraded fleet.
+	resp, err := http.Post(front.URL+"/v1/jobs", "application/json", strings.NewReader(`[]`))
+	if err != nil {
+		return fmt.Errorf("routed write: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("routed write through degraded fleet: status %d", resp.StatusCode)
+	}
+
+	rep.RouterHealthyP50Ns = healthyP50.Nanoseconds()
+	rep.RouterHealthyP99Ns = healthyP99.Nanoseconds()
+	rep.RouterDegradedP50Ns = durQuantile(degraded, 0.50).Nanoseconds()
+	rep.RouterDegradedP99Ns = durQuantile(degraded, 0.99).Nanoseconds()
+	rep.RouterOverheadNs = (healthyP50 - directP50).Nanoseconds()
+	rep.RouterHedges = rt.Hedges()
+	rep.RouterRetries = rt.Budget().Retries()
+
+	fmt.Printf("router: healthy p50=%s p99=%s (overhead %s over direct); dead+slow p50=%s p99=%s, %d hedges, %d retries, zero client errors\n",
+		time.Duration(rep.RouterHealthyP50Ns), time.Duration(rep.RouterHealthyP99Ns),
+		time.Duration(rep.RouterOverheadNs),
+		time.Duration(rep.RouterDegradedP50Ns), time.Duration(rep.RouterDegradedP99Ns),
+		rep.RouterHedges, rep.RouterRetries)
+	return nil
+}
+
+// durQuantile returns the nearest-rank quantile of a latency sample.
+func durQuantile(durs []time.Duration, q float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(float64(len(s)-1)*q)]
+}

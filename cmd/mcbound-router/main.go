@@ -1,0 +1,103 @@
+// Command mcbound-router is the cluster front door: a health-aware
+// HTTP router in front of an mcbound-server fleet. Reads spread across
+// fresh followers (rendezvous-hashed per client, hedged against the
+// fleet's p95, budget-bounded retries); writes forward to the
+// lease-holding leader and chase 421 redirects within the membership.
+// When no leader exists, writes fail fast with a typed 503 while reads
+// keep serving from the freshest follower.
+//
+//	mcbound-router -port 8000 \
+//	  -peers n1=http://localhost:8080,n2=http://localhost:8081,n3=http://localhost:8082
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mcbound/internal/cluster"
+	"mcbound/internal/httpapi"
+	"mcbound/internal/resilience"
+	"mcbound/internal/router"
+	"mcbound/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbound-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		port             = flag.Int("port", 8000, "port to listen on")
+		peers            = flag.String("peers", "", "backend fleet as id=url,id=url,... (required)")
+		maxReadLag       = flag.Duration("max-read-lag", router.DefaultMaxReadLag, "followers lagging more than this are excluded from reads")
+		hedgeMin         = flag.Duration("hedge-min", router.DefaultHedgeAfterMin, "floor for the adaptive hedge delay")
+		maxRetries       = flag.Int("max-retries", router.DefaultMaxRetries, "extra read attempts after the first (each also needs a budget token)")
+		budgetTokens     = flag.Float64("retry-budget", resilience.DefaultBudgetTokens, "retry budget bucket capacity")
+		budgetRatio      = flag.Float64("retry-budget-ratio", resilience.DefaultBudgetRatio, "tokens refilled per successful request")
+		ejectThreshold   = flag.Int("eject-threshold", router.DefaultEjectThreshold, "consecutive failures that eject a backend")
+		ejectCooldown    = flag.Duration("eject-cooldown", router.DefaultEjectCooldown, "base ejection cooldown (jittered ×[0.5,1.5))")
+		maxEjectFraction = flag.Float64("max-eject-fraction", router.DefaultMaxEjectFraction, "cap on the ejected share of the fleet")
+		pollEvery        = flag.Duration("poll-every", router.DefaultPollEvery, "backend health probe period")
+		forwardTimeout   = flag.Duration("forward-timeout", router.DefaultForwardTimeout, "per-attempt proxy deadline (streams exempt)")
+		maxBodyBytes     = flag.Int64("max-body-bytes", router.DefaultMaxBodyBytes, "largest write body the router will buffer")
+		drainTimeout     = flag.Duration("drain-timeout", httpapi.DefaultDrainTimeout, "graceful shutdown drain window")
+		seed             = flag.Uint64("seed", 1, "seed for jitter and sampling determinism")
+	)
+	flag.Parse()
+
+	if *peers == "" {
+		return fmt.Errorf("-peers is required (the router fronts an existing fleet)")
+	}
+	members, err := cluster.ParseMemberList(*peers)
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmsgprefix)
+	reg := telemetry.NewRegistry()
+	rt, err := router.New(router.Config{
+		Backends:         members,
+		MaxReadLag:       *maxReadLag,
+		HedgeAfterMin:    *hedgeMin,
+		MaxRetries:       *maxRetries,
+		RetryBudget:      resilience.BudgetConfig{Tokens: *budgetTokens, Ratio: *budgetRatio},
+		EjectThreshold:   *ejectThreshold,
+		EjectCooldown:    *ejectCooldown,
+		MaxEjectFraction: *maxEjectFraction,
+		PollEvery:        *pollEvery,
+		ForwardTimeout:   *forwardTimeout,
+		MaxBodyBytes:     *maxBodyBytes,
+		Seed:             *seed,
+		Registry:         reg,
+		Logf:             logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go rt.Run(ctx)
+
+	// The router's own server carries SSE streams, so unlike the API
+	// server it must not set a WriteTimeout; ForwardTimeout bounds the
+	// non-streaming attempts instead.
+	srv := &http.Server{
+		Addr:              fmt.Sprintf(":%d", *port),
+		Handler:           rt,
+		ReadHeaderTimeout: httpapi.DefaultReadHeaderTimeout,
+		IdleTimeout:       httpapi.DefaultIdleTimeout,
+	}
+	logger.Printf("mcbound-router listening on :%d fronting %d backends (hedge ≥ %v, budget %.0f tokens, eject after %d fails)",
+		*port, len(members), *hedgeMin, *budgetTokens, *ejectThreshold)
+	return httpapi.ListenAndServe(ctx, srv, *drainTimeout)
+}

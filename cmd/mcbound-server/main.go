@@ -279,6 +279,21 @@ func run(o options) error {
 		}
 	}
 
+	// Static membership, parsed up front when configured: the elector
+	// needs it, and the replication client uses it as the redirect
+	// allowlist — a 421 Location pointing at a non-member is refused.
+	var members cluster.Membership
+	if o.peers != "" || o.nodeID != "" {
+		if o.peers == "" || o.nodeID == "" {
+			return fmt.Errorf("-node-id and -peers go together (got node-id=%q peers=%q)", o.nodeID, o.peers)
+		}
+		var merr error
+		members, merr = cluster.ParsePeers(o.nodeID, o.peers)
+		if merr != nil {
+			return fmt.Errorf("bad -peers: %w", merr)
+		}
+	}
+
 	// Replication topology. A leader with a durable log serves the WAL-
 	// shipping surface (GET /v1/wal/segments...); a follower tails it,
 	// applying every CRC-verified frame through the same path as crash
@@ -287,7 +302,7 @@ func run(o options) error {
 	var follower *repl.Follower
 	var replClient *repl.Client
 	if following {
-		replClient = repl.NewClient(repl.ClientConfig{
+		ccfg := repl.ClientConfig{
 			BaseURL: o.follow,
 			Retry: resilience.Policy{
 				MaxAttempts: o.fetchAttempts,
@@ -298,7 +313,15 @@ func run(o options) error {
 				Cooldown:         o.breakerCooldown,
 			},
 			Seed: o.seed,
-		})
+			// One process-wide bucket: however many goroutines end up
+			// retrying against the leader, their total retry amplification
+			// stays a fraction of the success rate.
+			Budget: resilience.NewBudget(resilience.BudgetConfig{}),
+		}
+		if members.Size() > 0 {
+			ccfg.Allowed = members.ContainsURL
+		}
+		replClient = repl.NewClient(ccfg)
 		var err error
 		follower, err = repl.NewFollower(repl.FollowerConfig{
 			Client: replClient,
@@ -333,16 +356,9 @@ func run(o options) error {
 	// own failover — the leader's writes are fenced the moment quorum
 	// acks go stale, and followers elect a successor unassisted.
 	var elector *election.Elector
-	if o.peers != "" || o.nodeID != "" {
-		if o.peers == "" || o.nodeID == "" {
-			return fmt.Errorf("-node-id and -peers go together (got node-id=%q peers=%q)", o.nodeID, o.peers)
-		}
+	if members.Size() > 0 {
 		if node == nil {
 			return fmt.Errorf("-peers requires a replication role: lead with -data-dir or follow with -follow")
-		}
-		members, merr := cluster.ParsePeers(o.nodeID, o.peers)
-		if merr != nil {
-			return fmt.Errorf("bad -peers: %w", merr)
 		}
 		ecfg := election.Config{
 			Members:         members,

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ParseMemberList parses an "id=url,id=url,..." spec into a member
+// slice without requiring a self entry — the front door's view of the
+// fleet, where the router itself is not a member.
+func ParseMemberList(spec string) ([]Member, error) {
+	var members []Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: bad peer %q, want id=url", part)
+		}
+		m := Member{ID: strings.TrimSpace(id), URL: strings.TrimRight(strings.TrimSpace(url), "/")}
+		if m.ID == "" || m.URL == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q, want id=url", part)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", m.ID)
+		}
+		seen[m.ID] = true
+		members = append(members, m)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return members, nil
+}
+
+// ContainsURL reports whether u names a configured member's base URL
+// (trailing slashes ignored). It is the membership allowlist behind
+// redirect chasing: a Location header pointing anywhere else must be
+// refused, not followed.
+func (m Membership) ContainsURL(u string) bool {
+	return containsURL(m.all, u)
+}
+
+// MembersContainURL is ContainsURL for a bare member slice (the router
+// holds a list, not a Membership, since it is not itself a member).
+func MembersContainURL(members []Member, u string) bool {
+	return containsURL(members, u)
+}
+
+func containsURL(members []Member, u string) bool {
+	u = strings.TrimRight(u, "/")
+	if u == "" {
+		return false
+	}
+	for _, mem := range members {
+		if mem.URL == u {
+			return true
+		}
+	}
+	return false
+}
+
+// maxStatusBody bounds how much of a /v1/cluster response FetchStatus
+// will read — the document is a few KB even for large fleets.
+const maxStatusBody = 1 << 20
+
+// FetchStatus retrieves one node's GET /v1/cluster view. It is the
+// router's probe primitive; hc's timeout (or ctx) bounds the call.
+func FetchStatus(ctx context.Context, hc *http.Client, baseURL string) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(baseURL, "/")+"/v1/cluster", nil)
+	if err != nil {
+		return Status{}, fmt.Errorf("cluster: build status request: %w", err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxStatusBody))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("cluster: status probe of %s: HTTP %d", baseURL, resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxStatusBody)).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("cluster: decode status from %s: %w", baseURL, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestParseMemberList(t *testing.T) {
+	members, err := ParseMemberList("n1=http://a:1/, n2=http://b:2 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("got %d members", len(members))
+	}
+	if members[0].ID != "n1" || members[0].URL != "http://a:1" {
+		t.Fatalf("member[0] = %+v, want trimmed n1=http://a:1", members[0])
+	}
+	if members[1].URL != "http://b:2" {
+		t.Fatalf("member[1] = %+v", members[1])
+	}
+	for _, bad := range []string{"", "n1", "n1=", "=http://a:1", "n1=http://a:1,n1=http://b:2"} {
+		if _, err := ParseMemberList(bad); err == nil {
+			t.Errorf("ParseMemberList(%q) accepted", bad)
+		}
+	}
+}
+
+func TestContainsURL(t *testing.T) {
+	members, err := ParseMemberList("n1=http://a:1,n2=http://b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MembersContainURL(members, "http://a:1") || !MembersContainURL(members, "http://b:2/") {
+		t.Fatal("configured member URL not recognized")
+	}
+	for _, u := range []string{"http://evil:1", "http://a:2", "", "https://a:1"} {
+		if MembersContainURL(members, u) {
+			t.Errorf("non-member %q admitted", u)
+		}
+	}
+
+	m, err := New("n1", members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ContainsURL("http://b:2") || m.ContainsURL("http://c:3") {
+		t.Fatal("Membership.ContainsURL disagrees with the member list")
+	}
+}
+
+func TestFetchStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(Status{Self: "n1", Role: "leader", LeaderID: "n1", LeaderURL: "http://a:1", LeaseHeld: true})
+	}))
+	defer srv.Close()
+
+	st, err := FetchStatus(context.Background(), srv.Client(), srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "leader" || !st.LeaseHeld || st.LeaderURL != "http://a:1" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestFetchStatusNon200(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if _, err := FetchStatus(context.Background(), srv.Client(), srv.URL); err == nil {
+		t.Fatal("503 probe reported success")
+	}
+}

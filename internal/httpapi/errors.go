@@ -17,14 +17,34 @@ import (
 	"mcbound/internal/wal"
 )
 
-// errorBody is the error envelope every handler returns: a human
+// ErrorBody is the error envelope every handler returns: a human
 // message plus a stable machine-readable code. Index is set only for
 // batch-insert rejections (the offset of the first invalid record).
-type errorBody struct {
+// Exported so the front door (internal/router) emits the same envelope
+// for the errors it originates itself.
+type ErrorBody struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
 	Index *int   `json:"index,omitempty"`
 }
+
+// Stable error codes the front door originates on its own behalf —
+// exported because routers return them without going through
+// errToStatus (the failure never reached a backend handler).
+const (
+	// CodeNoLeader: a write arrived while no member holds the lease
+	// (brownout). 503 + Retry-After; the write was not attempted.
+	CodeNoLeader = "no_leader"
+	// CodeNoBackend: no member can serve the read — every candidate is
+	// down, ejected, or too stale. 503.
+	CodeNoBackend = "no_backend"
+	// CodeUpstream: the chosen backend failed mid-request (transport
+	// error). 502; a write may or may not have been applied.
+	CodeUpstream = "upstream_error"
+	// CodeRetryBudget: the router's global retry budget is exhausted, so
+	// the failure was returned instead of retried. 503.
+	CodeRetryBudget = "retry_budget_exhausted"
+)
 
 // Stable error codes of the v1 API.
 const (

@@ -48,7 +48,7 @@ func (b *laggyBackend) JobByID(ctx context.Context, id string) (*job.Job, error)
 	return b.Backend.JobByID(ctx, id)
 }
 
-func doGet(t *testing.T, client *http.Client, url string, header map[string]string) (*http.Response, errorBody) {
+func doGet(t *testing.T, client *http.Client, url string, header map[string]string) (*http.Response, ErrorBody) {
 	t.Helper()
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
@@ -62,7 +62,7 @@ func doGet(t *testing.T, client *http.Client, url string, header map[string]stri
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var body errorBody
+	var body ErrorBody
 	_ = json.NewDecoder(resp.Body).Decode(&body)
 	return resp, body
 }
@@ -228,7 +228,7 @@ func TestOverloadBurst(t *testing.T) {
 			return 0, "", 0
 		}
 		defer resp.Body.Close()
-		var body errorBody
+		var body ErrorBody
 		_ = json.NewDecoder(resp.Body).Decode(&body)
 		return resp.StatusCode, resp.Header.Get("Retry-After"), time.Since(t0)
 	}

@@ -355,7 +355,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
-	s.writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+	s.writeJSON(w, status, ErrorBody{Error: err.Error(), Code: code})
 }
 
 // handleHealth is the readiness probe: 200 while the framework can
@@ -524,7 +524,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) writeInvalidJob(w http.ResponseWriter, err error, index int) {
 	status, code := errToStatus(err)
-	s.writeJSON(w, status, errorBody{Error: err.Error(), Code: code, Index: &index})
+	s.writeJSON(w, status, ErrorBody{Error: err.Error(), Code: code, Index: &index})
 }
 
 func (s *Server) handleClassifyByID(w http.ResponseWriter, r *http.Request) {

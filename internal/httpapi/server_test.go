@@ -162,7 +162,7 @@ func TestClassifyByID(t *testing.T) {
 	if pred.JobID != "s0000" || pred.Class != "memory-bound" {
 		t.Errorf("pred = %+v", pred)
 	}
-	var e errorBody
+	var e ErrorBody
 	if code := getJSON(t, srv.URL+"/v1/classify/nope", &e); code != http.StatusNotFound {
 		t.Errorf("missing job status = %d", code)
 	}
@@ -182,7 +182,7 @@ func TestClassifyRangeEnvelope(t *testing.T) {
 		t.Errorf("total=%d items=%d, want 12/12", env.Total, len(env.Items))
 	}
 	// Missing parameters → 400 bad_request.
-	var e errorBody
+	var e ErrorBody
 	if code := getJSON(t, srv.URL+"/v1/classify?start=2024-01-10T00:00:00Z", &e); code != http.StatusBadRequest {
 		t.Errorf("missing end status = %d", code)
 	}
@@ -226,7 +226,7 @@ func TestPagination(t *testing.T) {
 
 	// Bad pagination params → 400.
 	for _, q := range []string{"&limit=-1", "&limit=x", "&offset=-2"} {
-		var e errorBody
+		var e ErrorBody
 		if code := getJSON(t, base+q, &e); code != http.StatusBadRequest || e.Code != "bad_request" {
 			t.Errorf("%s: status %d code %q", q, code, e.Code)
 		}
@@ -262,7 +262,7 @@ func TestNotTrainedReturns503(t *testing.T) {
 	st := seedStore(t)
 	srv := httptest.NewServer(newAPI(t, st, nil, false, Options{}))
 	defer srv.Close()
-	var e errorBody
+	var e ErrorBody
 	if code := getJSON(t, srv.URL+"/v1/classify/s0000", &e); code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", code)
 	}
@@ -295,7 +295,7 @@ func TestTrainEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var e errorBody
+	var e ErrorBody
 	json.NewDecoder(resp2.Body).Decode(&e)
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest || e.Code != "bad_request" {
@@ -323,7 +323,7 @@ func TestTrainIndexOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var e errorBody
+	var e ErrorBody
 	json.NewDecoder(resp.Body).Decode(&e)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest || e.Code != "bad_request" {
@@ -405,7 +405,7 @@ func TestInsertAtomicRejection(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
 	}
-	var e errorBody
+	var e ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +448,7 @@ func TestBodyCap(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413", resp.StatusCode)
 	}
-	var e errorBody
+	var e ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +497,7 @@ func TestBadPayloadsRejected(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var e errorBody
+		var e ErrorBody
 		json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest || e.Code != "bad_request" {
@@ -528,7 +528,7 @@ func TestTrainEmptyBodyUsesWallClock(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Errorf("status %d, want 500 for an empty window", resp.StatusCode)
 	}
-	var e errorBody
+	var e ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" || e.Code != "internal" {
 		t.Errorf("error envelope wrong: %v, %+v", err, e)
 	}
@@ -751,7 +751,7 @@ func TestBreakerOpenReturns503WithRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", resp.StatusCode)
 	}
-	var e errorBody
+	var e ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,11 @@ import (
 	"mcbound/internal/wal"
 )
 
+// ErrRedirectDenied re-exports the resilience sentinel so replication
+// callers can test for an allowlist-refused redirect without importing
+// the resilience package.
+var ErrRedirectDenied = resilience.ErrRedirectDenied
+
 // EpochHeader carries the leader's fencing epoch on every replication
 // response, so a follower can reject bytes from a deposed leader even
 // when the body itself is valid.
@@ -46,6 +51,16 @@ type ClientConfig struct {
 	Breaker resilience.BreakerConfig
 	// Seed drives the deterministic backoff jitter.
 	Seed uint64
+	// Budget, when non-nil, throttles retries globally: every retry
+	// beyond a request's first attempt spends a token, refilled as a
+	// fraction of successes. Share one bucket across clients to cap the
+	// process's total retry amplification. Nil leaves retries unthrottled.
+	Budget *resilience.Budget
+	// Allowed, when non-nil, is the membership allowlist for 421
+	// Location redirects: a redirect whose base fails it is a hard error,
+	// never followed. Nil admits any target (single-leader deployments
+	// without configured membership).
+	Allowed func(base string) bool
 }
 
 // maxRedirectHops bounds how many 421 Location redirects one request
@@ -61,11 +76,12 @@ const maxRedirectHops = 3
 // redirect is followed (bounded hops) and the working leader is adopted
 // permanently, so clients survive promotions without a restart.
 type Client struct {
-	mu   sync.RWMutex
-	base string
-	hc   *http.Client
-	retr *resilience.Retrier
-	brk  *resilience.Breaker
+	mu      sync.RWMutex
+	base    string
+	hc      *http.Client
+	retr    *resilience.Retrier
+	brk     *resilience.Breaker
+	allowed func(base string) bool
 }
 
 // NewClient builds a replication client for the leader at cfg.BaseURL.
@@ -75,10 +91,11 @@ func NewClient(cfg ClientConfig) *Client {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
 	return &Client{
-		base: strings.TrimRight(cfg.BaseURL, "/"),
-		hc:   hc,
-		retr: resilience.NewRetrier(cfg.Retry, cfg.Seed),
-		brk:  resilience.NewBreaker(cfg.Breaker),
+		base:    strings.TrimRight(cfg.BaseURL, "/"),
+		hc:      hc,
+		retr:    resilience.NewRetrier(cfg.Retry, cfg.Seed).WithBudget(cfg.Budget),
+		brk:     resilience.NewBreaker(cfg.Breaker),
+		allowed: cfg.Allowed,
 	}
 }
 
@@ -112,19 +129,6 @@ func (c *Client) Redirect(url string) {
 	}
 }
 
-// redirectTarget extracts "scheme://host" from a 421 Location header
-// (which carries the full redirected URL, path included).
-func redirectTarget(loc string) string {
-	if loc == "" {
-		return ""
-	}
-	u, err := url.Parse(loc)
-	if err != nil || u.Scheme == "" || u.Host == "" {
-		return ""
-	}
-	return u.Scheme + "://" + u.Host
-}
-
 // do runs one replication request: breaker admission, then the retry
 // loop. Permanent answers (404, 421) do not count against the breaker.
 func do[T any](ctx context.Context, c *Client, op func(ctx context.Context) (T, error)) (T, error) {
@@ -142,12 +146,16 @@ func do[T any](ctx context.Context, c *Client, op func(ctx context.Context) (T, 
 }
 
 // get issues one GET and classifies the status code for the retrier. A
-// 421 not_leader carrying a Location redirect is chased (bounded hops);
-// when the chase lands on a node that answers, that node is adopted as
-// the new base for every later request.
+// 421 not_leader carrying a Location redirect is chased through the
+// shared resilience.Chase (bounded hops, loop detection, membership
+// allowlist); when the chase lands on a node that answers, that node is
+// adopted as the new base for every later request. A redirect pointing
+// outside the configured membership is a permanent ErrRedirectDenied —
+// a deposed or compromised node must not be able to steer replication
+// traffic at an arbitrary address.
 func (c *Client) get(ctx context.Context, path string) ([]byte, http.Header, error) {
 	base := c.Base()
-	visited := map[string]bool{base: true}
+	chase := resilience.NewChase(base, maxRedirectHops, c.allowed)
 	for hop := 0; ; hop++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 		if err != nil {
@@ -171,10 +179,12 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, http.Header, err
 		case resp.StatusCode == http.StatusNotFound:
 			return nil, nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrGone, path))
 		case resp.StatusCode == http.StatusMisdirectedRequest:
-			target := redirectTarget(resp.Header.Get("Location"))
-			if target != "" && !visited[target] && hop < maxRedirectHops {
-				visited[target] = true
-				base = target
+			next, ok, cerr := chase.Follow(resp.Header.Get("Location"))
+			if cerr != nil {
+				return nil, nil, resilience.Permanent(fmt.Errorf("repl: %s: %w", base, cerr))
+			}
+			if ok {
+				base = next
 				continue
 			}
 			return nil, nil, resilience.Permanent(fmt.Errorf("%w: %s", ErrSourceNotLeader, base))

@@ -1,0 +1,123 @@
+package resilience
+
+import (
+	"errors"
+	"math"
+	"sync"
+)
+
+// ErrBudgetExhausted marks a retry that was suppressed by the global
+// retry budget: the failing operation's own error is kept in the chain,
+// so callers still see *what* failed — the sentinel records only that
+// no retry was attempted for it.
+var ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+
+// BudgetConfig tunes a retry budget. The zero value selects the serving
+// defaults.
+type BudgetConfig struct {
+	// Tokens is the bucket capacity — the burst of retries the budget
+	// admits from a cold start before any successes have refilled it.
+	// Values <= 0 select DefaultBudgetTokens.
+	Tokens float64
+	// Ratio is how much of a token each success refills: with 0.1, one
+	// retry is earned per ten successes, so in steady state retries are
+	// at most ~10% of traffic no matter how many callers share the
+	// bucket. Values <= 0 select DefaultBudgetRatio; values are capped
+	// at 1.
+	Ratio float64
+}
+
+// Budget defaults: a 10-retry burst allowance refilled at one retry per
+// ten successes (the posture gRPC's retry throttle ships with).
+const (
+	DefaultBudgetTokens = 10
+	DefaultBudgetRatio  = 0.1
+)
+
+// Budget is a token-bucket retry throttle shared across callers: every
+// retry spends one token, every success refills Ratio of one. When the
+// bucket is empty, retries are denied and the caller surfaces the
+// original error instead of re-offering load — which is exactly what
+// keeps a retrying fleet from amplifying a partial outage into a storm
+// (the denied retry is load the struggling backend never sees).
+//
+// A nil *Budget admits everything, so the throttle is opt-in at every
+// call site.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	ratio  float64
+
+	retries   int64
+	exhausted int64
+}
+
+// NewBudget builds a full bucket under cfg.
+func NewBudget(cfg BudgetConfig) *Budget {
+	if cfg.Tokens <= 0 {
+		cfg.Tokens = DefaultBudgetTokens
+	}
+	if cfg.Ratio <= 0 {
+		cfg.Ratio = DefaultBudgetRatio
+	}
+	cfg.Ratio = math.Min(cfg.Ratio, 1)
+	return &Budget{tokens: cfg.Tokens, cap: cfg.Tokens, ratio: cfg.Ratio}
+}
+
+// Allow spends one token for a retry attempt. It returns false — and
+// counts an exhaustion — when the bucket holds less than a whole token.
+func (b *Budget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.exhausted++
+		return false
+	}
+	b.tokens--
+	b.retries++
+	return true
+}
+
+// OnSuccess refills Ratio of one token, capped at the bucket size.
+func (b *Budget) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens = math.Min(b.cap, b.tokens+b.ratio)
+	b.mu.Unlock()
+}
+
+// Tokens reports the current bucket level (telemetry).
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Retries counts the retry attempts the budget admitted.
+func (b *Budget) Retries() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retries
+}
+
+// Exhausted counts the retry attempts the budget denied.
+func (b *Budget) Exhausted() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.exhausted
+}

@@ -1,0 +1,80 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// ErrRedirectDenied marks a Location header pointing outside the
+// caller's membership allowlist. Following it would let any node that
+// can answer a request steer the client at an arbitrary address (an
+// SSRF-shaped hole), so the chase treats it as a hard error — never a
+// hop.
+var ErrRedirectDenied = errors.New("resilience: redirect target outside cluster membership")
+
+// RedirectTarget extracts "scheme://host" from a Location header value
+// (which conventionally carries the full redirected URL, path
+// included). It returns "" for relative or malformed locations.
+func RedirectTarget(loc string) string {
+	if loc == "" {
+		return ""
+	}
+	u, err := url.Parse(loc)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return ""
+	}
+	return u.Scheme + "://" + u.Host
+}
+
+// Chase tracks one request's leader-redirect walk: bounded hops, loop
+// detection over visited bases, and an optional membership allowlist.
+// It owns no I/O — the caller issues the requests and feeds each 421's
+// Location header to Follow.
+type Chase struct {
+	maxHops int
+	allowed func(base string) bool
+	visited map[string]bool
+	hops    int
+}
+
+// NewChase starts a chase at the given base URL. maxHops bounds how
+// many redirects are followed (values < 1 behave as 1). allowed, when
+// non-nil, is the membership allowlist — a Location whose base fails it
+// is a hard ErrRedirectDenied, not a hop. A nil allowed admits any
+// target (single-leader deployments without configured membership).
+func NewChase(base string, maxHops int, allowed func(base string) bool) *Chase {
+	if maxHops < 1 {
+		maxHops = 1
+	}
+	return &Chase{
+		maxHops: maxHops,
+		allowed: allowed,
+		visited: map[string]bool{strings.TrimRight(base, "/"): true},
+	}
+}
+
+// Follow resolves the next base to try from a redirect's Location
+// header. ok is false when the chase must stop benignly — no usable
+// Location, a base already visited (loop), or the hop bound spent. A
+// non-nil error is the allowlist denial: the caller must surface it as
+// permanent, never follow it.
+func (c *Chase) Follow(location string) (base string, ok bool, err error) {
+	target := RedirectTarget(location)
+	if target == "" {
+		return "", false, nil
+	}
+	// A loop back to a visited base stops the chase before the
+	// allowlist: that base was already contacted, denying it adds
+	// nothing.
+	if c.visited[target] || c.hops >= c.maxHops {
+		return "", false, nil
+	}
+	if c.allowed != nil && !c.allowed(target) {
+		return "", false, fmt.Errorf("%w: %s", ErrRedirectDenied, target)
+	}
+	c.visited[target] = true
+	c.hops++
+	return target, true, nil
+}

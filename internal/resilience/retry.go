@@ -48,7 +48,8 @@ func DefaultPolicy() Policy {
 // concurrent use: the jitter RNG is guarded by a mutex, and everything
 // else is immutable after construction.
 type Retrier struct {
-	pol Policy
+	pol    Policy
+	budget *Budget
 
 	mu  sync.Mutex
 	rng *stats.RNG
@@ -92,6 +93,20 @@ func NewRetrier(pol Policy, seed uint64) *Retrier {
 // Policy returns the (normalized) policy the retrier runs under.
 func (r *Retrier) Policy() Policy { return r.pol }
 
+// WithBudget attaches a retry budget: every retry beyond the first
+// attempt must win a token, and a denied retry returns the attempt's
+// own error wrapped with ErrBudgetExhausted. Budgets are shared — many
+// retriers can drain one bucket, which is the point: the budget caps
+// the *fleet's* retry amplification, not one caller's. Returns r for
+// chaining; call before first use.
+func (r *Retrier) WithBudget(b *Budget) *Retrier {
+	r.budget = b
+	return r
+}
+
+// Budget returns the attached retry budget (nil when unthrottled).
+func (r *Retrier) Budget() *Budget { return r.budget }
+
 // Do runs op until it succeeds, exhausts the attempt budget, returns a
 // permanent error, or the caller's context ends. The error of the last
 // attempt is always in the returned chain, so errors.Is/As against
@@ -104,6 +119,7 @@ func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) er
 			hook(attempt, err)
 		}
 		if err == nil {
+			r.budget.OnSuccess()
 			return nil
 		}
 		if IsPermanent(err) {
@@ -119,6 +135,11 @@ func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) er
 				return fmt.Errorf("resilience: %d attempts exhausted: %w", r.pol.MaxAttempts, err)
 			}
 			return err
+		}
+		if !r.budget.Allow() {
+			// The retry budget is dry: surface the attempt's own error
+			// rather than re-offering load to a struggling dependency.
+			return fmt.Errorf("%w: %w", ErrBudgetExhausted, err)
 		}
 		if serr := r.sleep(ctx, r.delay(attempt)); serr != nil {
 			return err

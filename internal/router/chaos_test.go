@@ -1,0 +1,259 @@
+package router
+
+// The RouterChaos suite (make chaos-router) drives the front door
+// through the seeded failure scenarios the design commits to: a dead
+// backend plus a 10×-slow backend with zero client-observed read
+// errors and a bounded p99, a leader kill mid-write-stream with at
+// most one hard write failure, a backend kill mid-SSE, and a router
+// restart mid-SSE with Last-Event-ID continuity.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mcbound/internal/resilience"
+)
+
+func p99(durs []time.Duration) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(float64(len(s)-1)*0.99)]
+}
+
+func TestRouterChaosDeadAndSlowBackends(t *testing.T) {
+	n1, n2, n3 := threeNode(t)
+	rt, front := mkRouter(t, Config{
+		HedgeAfterMin: 5 * time.Millisecond,
+		RetryBudget:   resilience.BudgetConfig{Tokens: 20, Ratio: 0.1},
+		Seed:          1337,
+	}, n1, n2, n3)
+
+	read := func(i int) (time.Duration, int) {
+		req, _ := http.NewRequest(http.MethodGet, front.URL+"/v1/model", nil)
+		req.Header.Set("X-Client-Id", fmt.Sprintf("tenant-%d", i%17))
+		start := time.Now()
+		resp, err := front.Client().Do(req)
+		if err != nil {
+			return time.Since(start), 0
+		}
+		resp.Body.Close()
+		return time.Since(start), resp.StatusCode
+	}
+
+	// Healthy baseline: also fills the latency reservoirs the hedge
+	// delay adapts to.
+	const warm = 200
+	healthy := make([]time.Duration, 0, warm)
+	for i := 0; i < warm; i++ {
+		d, code := read(i)
+		if code != http.StatusOK {
+			t.Fatalf("healthy read %d: status %d", i, code)
+		}
+		healthy = append(healthy, d)
+	}
+	healthyP99 := p99(healthy)
+
+	// Chaos: one backend dies outright, one turns 10× slow.
+	slowBy := 10 * healthyP99
+	if slowBy < 20*time.Millisecond {
+		slowBy = 20 * time.Millisecond
+	}
+	n3.set(func(b *stubBackend) { b.downFlag = true })
+	n2.set(func(b *stubBackend) { b.delay = slowBy })
+	rt.RefreshNow(context.Background())
+
+	const degradedReads = 300
+	degraded := make([]time.Duration, 0, degradedReads)
+	for i := 0; i < degradedReads; i++ {
+		d, code := read(i)
+		if code != http.StatusOK {
+			t.Fatalf("degraded read %d: status %d — the acceptance bar is a zero client-observed error rate", i, code)
+		}
+		degraded = append(degraded, d)
+	}
+
+	// p99 bound: 3× the healthy p99, floored so a sub-millisecond local
+	// baseline does not make the bound unmeetable on a loaded CI box.
+	floor := healthyP99
+	if floor < 5*time.Millisecond {
+		floor = 5 * time.Millisecond
+	}
+	if got := p99(degraded); got > 3*floor {
+		t.Fatalf("degraded p99 %v exceeds 3× healthy p99 bound %v", got, 3*floor)
+	}
+
+	// Retries never exceed the configured budget: capacity plus the
+	// refill fraction of every success.
+	total := int64(warm + degradedReads)
+	bound := int64(20) + int64(math.Ceil(0.1*float64(total))) + 1
+	if got := rt.Budget().Retries(); got > bound {
+		t.Fatalf("%d retries admitted, budget bounds them at %d", got, bound)
+	}
+}
+
+func TestRouterChaosLeaderKillMidWrites(t *testing.T) {
+	n1, n2, n3 := threeNode(t)
+	rt, front := mkRouter(t, Config{
+		PollEvery: 30 * time.Millisecond,
+		Seed:      99,
+	}, n1, n2, n3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.Run(ctx)
+
+	write := func() int {
+		resp, err := front.Client().Post(front.URL+"/v1/jobs", "application/json", strings.NewReader(`[]`))
+		if err != nil {
+			return 0
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	hardFailures, brownouts := 0, 0
+	const writes = 40
+	for i := 0; i < writes; i++ {
+		if i == 10 {
+			// Kill the leader and promote n2, as the elector would.
+			n2URL := n2.url()
+			n1.set(func(b *stubBackend) { b.downFlag = true })
+			n2.set(func(b *stubBackend) { b.role = "leader"; b.leaseHeld = true; b.leaderURL = n2URL })
+			n3.set(func(b *stubBackend) { b.leaderURL = n2URL })
+		}
+		switch code := write(); {
+		case code == http.StatusOK:
+		case code == http.StatusServiceUnavailable:
+			// Typed brownout: designed fail-fast, the client backs off
+			// and retries. Not a hard failure.
+			brownouts++
+			time.Sleep(30 * time.Millisecond)
+		default:
+			// 502 / transport error: the in-flight write the kill caught.
+			hardFailures++
+			time.Sleep(40 * time.Millisecond) // give the re-point a probe round
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if hardFailures > 1 {
+		t.Fatalf("leader kill surfaced %d hard write failures (brownouts: %d), want ≤ 1", hardFailures, brownouts)
+	}
+	// The fleet re-pointed: the last write must have landed on n2.
+	resp, err := front.Client().Post(front.URL+"/v1/jobs", "application/json", strings.NewReader(`[]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(BackendHeader) != "n2" {
+		t.Fatalf("post-failover write: status %d backend %q, want 200 from n2", resp.StatusCode, resp.Header.Get(BackendHeader))
+	}
+}
+
+// sseClient reads numbered events off the prediction stream until n
+// events arrive or the stream breaks, returning the last id seen.
+func sseRead(t *testing.T, front *httptest.Server, lastID int, n int) (ids []int, backend string, err error) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, front.URL+"/v1/predictions/stream", nil)
+	req.Header.Set("X-Client-Id", "sse-tenant")
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+	}
+	resp, err := front.Client().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("stream status %d", resp.StatusCode)
+	}
+	backend = resp.Header.Get(BackendHeader)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "id: ") {
+			continue
+		}
+		id, aerr := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+		if aerr != nil {
+			continue
+		}
+		ids = append(ids, id)
+		if len(ids) >= n {
+			return ids, backend, nil
+		}
+	}
+	return ids, backend, sc.Err()
+}
+
+func contiguous(t *testing.T, ids []int, from int) {
+	t.Helper()
+	want := from
+	for _, id := range ids {
+		if id != want {
+			t.Fatalf("event ids %v: expected %d next, got %d (gap or duplicate across reconnect)", ids, want, id)
+		}
+		want++
+	}
+}
+
+func TestRouterChaosBackendKillMidSSE(t *testing.T) {
+	n1, n2, n3 := threeNode(t)
+	rt, front := mkRouter(t, Config{Seed: 5}, n1, n2, n3)
+
+	ids, servedBy, err := sseRead(t, front, 0, 10)
+	if err != nil {
+		t.Fatalf("initial stream: %v", err)
+	}
+	contiguous(t, ids, 1)
+
+	// Kill whichever backend carried the stream.
+	for _, s := range []*stubBackend{n1, n2, n3} {
+		if s.id == servedBy {
+			s.set(func(b *stubBackend) { b.downFlag = true })
+		}
+	}
+	rt.RefreshNow(context.Background())
+
+	// The client reconnects with Last-Event-ID and must resume exactly
+	// where it left off, on a different backend.
+	last := ids[len(ids)-1]
+	ids2, servedBy2, err := sseRead(t, front, last, 10)
+	if err != nil {
+		t.Fatalf("resumed stream: %v", err)
+	}
+	if servedBy2 == servedBy {
+		t.Fatalf("stream resumed on the killed backend %q", servedBy2)
+	}
+	contiguous(t, ids2, last+1)
+}
+
+func TestRouterChaosRouterRestartMidSSE(t *testing.T) {
+	n1, n2, n3 := threeNode(t)
+	_, front1 := mkRouter(t, Config{Seed: 6}, n1, n2, n3)
+
+	ids, _, err := sseRead(t, front1, 0, 8)
+	if err != nil {
+		t.Fatalf("pre-restart stream: %v", err)
+	}
+	contiguous(t, ids, 1)
+	front1.Close() // the router process restarts; all its state is gone
+
+	_, front2 := mkRouter(t, Config{Seed: 6}, n1, n2, n3)
+	last := ids[len(ids)-1]
+	ids2, _, err := sseRead(t, front2, last, 8)
+	if err != nil {
+		t.Fatalf("post-restart stream: %v", err)
+	}
+	contiguous(t, ids2, last+1)
+}

@@ -1,0 +1,29 @@
+package router
+
+import "hash/fnv"
+
+// rendezvousScore ranks backend candidates for a client key by
+// highest-random-weight (rendezvous) hashing: every (backend, key) pair
+// gets a stable pseudo-random weight, and a key's preference order is
+// the backends sorted by descending weight. The properties that matter
+// here: a key sticks to the same follower while the fleet is stable
+// (cache and cursor locality), and when one backend drops out only that
+// backend's keys move — no global reshuffle, unlike modulo hashing.
+func rendezvousScore(backendID, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(backendID))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-1a has weak avalanche:
+// for near-identical keys (tenant-1, tenant-2, ...) the *relative
+// order* of two backends' scores stays correlated, which skewed the
+// follower split as far as 90/10 on sequential tenant IDs. Finalizing
+// restores an unbiased comparison.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

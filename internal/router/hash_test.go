@@ -1,0 +1,59 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Sequential tenant IDs are the realistic worst case for hash balance:
+// raw FNV-1a (no finalizer) sent 90% of tenant-N keys to the same one
+// of two backends. The finalized score must split them near-evenly.
+func TestRendezvousBalanceOnSequentialKeys(t *testing.T) {
+	const keys = 2000
+	for _, ids := range [][]string{
+		{"n1", "n2"},
+		{"n1", "n2", "n3"},
+	} {
+		counts := make(map[string]int)
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("tenant-%d", i)
+			best, bestScore := "", uint64(0)
+			for _, id := range ids {
+				if s := rendezvousScore(id, k); best == "" || s > bestScore {
+					best, bestScore = id, s
+				}
+			}
+			counts[best]++
+		}
+		fair := keys / len(ids)
+		for id, n := range counts {
+			if n < fair*7/10 || n > fair*13/10 {
+				t.Fatalf("%d backends: %s won %d of %d keys (fair share %d ±30%%): %v",
+					len(ids), id, n, keys, fair, counts)
+			}
+		}
+	}
+}
+
+// Removing one backend must only move the keys that backend owned.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	all := []string{"n1", "n2", "n3"}
+	survivors := []string{"n1", "n2"}
+	pick := func(ids []string, k string) string {
+		best, bestScore := "", uint64(0)
+		for _, id := range ids {
+			if s := rendezvousScore(id, k); best == "" || s > bestScore {
+				best, bestScore = id, s
+			}
+		}
+		return best
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("client-%d", i)
+		before := pick(all, k)
+		after := pick(survivors, k)
+		if before != "n3" && after != before {
+			t.Fatalf("key %q moved %s→%s though its backend survived", k, before, after)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcbound/internal/resilience"
+)
+
+// keyFor finds a client key whose rendezvous order puts primaryID
+// ahead of otherID, so a test can steer which follower a read hits
+// first.
+func keyFor(t *testing.T, primaryID, otherID string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if rendezvousScore(primaryID, k) > rendezvousScore(otherID, k) {
+			return k
+		}
+	}
+	t.Fatal("no key prefers the requested backend")
+	return ""
+}
+
+func TestHedgedReadWinsOverSlowPrimary(t *testing.T) {
+	n1, n2, n3 := threeNode(t)
+	n2.set(func(b *stubBackend) { b.delay = 400 * time.Millisecond })
+	rt, front := mkRouter(t, Config{HedgeAfterMin: 15 * time.Millisecond}, n1, n2, n3)
+
+	key := keyFor(t, "n2", "n3") // primary = slow n2, hedge = n3
+	start := time.Now()
+	resp, body := get(t, front, "/v1/model", key)
+	dur := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged read status %d (%s)", resp.StatusCode, body)
+	}
+	if b := resp.Header.Get(BackendHeader); b != "n3" {
+		t.Fatalf("served by %q, want the hedge backend n3", b)
+	}
+	if dur >= 400*time.Millisecond {
+		t.Fatalf("hedged read took %v — it waited out the slow primary", dur)
+	}
+	if rt.hedges.load() != 1 {
+		t.Fatalf("hedges = %d, want 1", rt.hedges.load())
+	}
+	if rt.met.hedgeWins.Value() != 1 {
+		t.Fatalf("hedge wins = %d, want 1", rt.met.hedgeWins.Value())
+	}
+}
+
+func TestHedgeLoserIsCanceledAndNoGoroutinesLeak(t *testing.T) {
+	n1, n2, n3 := threeNode(t)
+	n2.set(func(b *stubBackend) { b.delay = 2 * time.Second })
+	rt, front := mkRouter(t, Config{HedgeAfterMin: 10 * time.Millisecond}, n1, n2, n3)
+	_ = rt
+
+	key := keyFor(t, "n2", "n3")
+	baseline := runtime.NumGoroutine()
+	const reads = 5
+	for i := 0; i < reads; i++ {
+		resp, _ := get(t, front, "/v1/model", key)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// Each losing primary must be canceled the moment the hedge wins —
+	// the stub counts requests whose context died before the 2 s delay
+	// elapsed. Canceled transports also mean no goroutine sticks around.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if n2.canceledCount() >= reads && runtime.NumGoroutine() <= baseline+4 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("after %d hedged reads: %d cancellations (want %d), goroutines %d (baseline %d)",
+		reads, n2.canceledCount(), reads, runtime.NumGoroutine(), baseline)
+}
+
+func TestEjectAndRecoverFlapping(t *testing.T) {
+	n1, n2, n3 := threeNode(t)
+	n3.set(func(b *stubBackend) { b.failReads = true })
+	rt, front := mkRouter(t, Config{
+		EjectThreshold: 3,
+		EjectCooldown:  60 * time.Millisecond,
+		Seed:           7, // jitter in [0.5,1.5)× is seeded — the flap cadence reproduces
+		// Generous budget: this test measures ejection behavior, not
+		// retry throttling, and every flap burns threshold-many retries.
+		RetryBudget: resilience.BudgetConfig{Tokens: 100, Ratio: 1},
+	}, n1, n2, n3)
+
+	key := keyFor(t, "n3", "n2") // primary = failing n3
+	bad := rt.byURL[n3.url()]
+	deadline := time.Now().Add(5 * time.Second)
+	for bad.ejectionCount() < 3 && time.Now().Before(deadline) {
+		resp, _ := get(t, front, "/v1/model", key)
+		// The client must never see the failure: retries absorb it.
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("client saw status %d during eject/recover flapping", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := bad.ejectionCount(); got < 3 {
+		t.Fatalf("ejections = %d, want ≥ 3 (eject → cooldown lapse → re-eject)", got)
+	}
+	// While ejected, reads must not touch the backend.
+	if !bad.ejected(rt.now()) {
+		// Wait for the current streak to eject again.
+		for i := 0; i < 50 && !bad.ejected(rt.now()); i++ {
+			get(t, front, "/v1/model", key)
+		}
+	}
+	before := n3.hitCount()
+	for i := 0; i < 5; i++ {
+		get(t, front, "/v1/model", key)
+	}
+	if bad.ejected(rt.now()) && n3.hitCount() != before {
+		t.Fatal("an ejected backend still received reads")
+	}
+}
+
+func TestEjectionFloorNeverEmptiesTheFleet(t *testing.T) {
+	// Both backends fail every read. With MaxEjectFraction 0.5 of a
+	// two-member fleet, at most one may be ejected — the fleet never
+	// goes fully dark by the router's own hand.
+	n1 := newStubBackend(t, "n1")
+	n2 := newStubBackend(t, "n2")
+	n1.set(func(b *stubBackend) { b.failReads = true })
+	n2.set(func(b *stubBackend) { b.failReads = true })
+	rt, front := mkRouter(t, Config{
+		EjectThreshold: 2,
+		EjectCooldown:  10 * time.Second, // long: an ejection sticks for the test
+	}, n1, n2)
+
+	for i := 0; i < 30; i++ {
+		resp, _ := get(t, front, "/v1/model", fmt.Sprintf("k%d", i))
+		resp.Body.Close()
+	}
+	now := rt.now()
+	ejected := 0
+	for _, b := range rt.backends {
+		if b.ejected(now) {
+			ejected++
+		}
+	}
+	if ejected > 1 {
+		t.Fatalf("%d of 2 backends ejected, the floor allows at most 1", ejected)
+	}
+
+	// Single-backend fleet: the floor forbids ejection entirely.
+	solo := newStubBackend(t, "solo")
+	solo.set(func(b *stubBackend) { b.failReads = true })
+	rts, fronts := mkRouter(t, Config{EjectThreshold: 2, EjectCooldown: 10 * time.Second}, solo)
+	for i := 0; i < 20; i++ {
+		resp, _ := get(t, fronts, "/v1/model", "k")
+		resp.Body.Close()
+	}
+	if rts.backends[0].ejected(rts.now()) {
+		t.Fatal("the only backend was ejected")
+	}
+}

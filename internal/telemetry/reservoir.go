@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"mcbound/internal/stats"
+)
+
+// Reservoir is a fixed-capacity uniform sample of a value stream
+// (Vitter's algorithm R) answering quantile queries — the primitive
+// behind adaptive thresholds like the router's hedge delay, where a
+// full histogram's fixed buckets are too coarse and an unbounded
+// sample would leak. Replacement draws come from a seeded stats.RNG,
+// so a test run's sample is reproducible. Safe for concurrent use.
+type Reservoir struct {
+	mu   sync.Mutex
+	vals []float64
+	cap  int
+	n    int64
+	rng  *stats.RNG
+}
+
+// NewReservoir builds an empty reservoir holding at most capacity
+// samples (values < 1 behave as 1), seeded deterministically.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{
+		vals: make([]float64, 0, capacity),
+		cap:  capacity,
+		rng:  stats.NewRNG(seed),
+	}
+}
+
+// Observe offers one sample. Once the reservoir is full, the sample
+// replaces a uniformly chosen resident with probability cap/n, keeping
+// the retained set a uniform sample of everything observed.
+func (r *Reservoir) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	r.mu.Lock()
+	r.n++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, v)
+	} else if j := r.rng.Intn(int(minInt64(r.n, math.MaxInt32))); j < r.cap {
+		r.vals[j] = v
+	}
+	r.mu.Unlock()
+}
+
+// Quantile returns the q-quantile (clamped to [0, 1]) of the retained
+// sample by nearest-rank; ok is false while the reservoir is empty.
+func (r *Reservoir) Quantile(q float64) (v float64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.vals) == 0 {
+		return 0, false
+	}
+	sorted := make([]float64, len(r.vals))
+	copy(sorted, r.vals)
+	sort.Float64s(sorted)
+	q = math.Max(0, math.Min(1, q))
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i], true
+}
+
+// Count reports how many samples have been observed (not retained).
+func (r *Reservoir) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

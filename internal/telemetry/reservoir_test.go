@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestReservoirQuantileExactWhileUnderCapacity(t *testing.T) {
+	r := NewReservoir(128, 1)
+	if _, ok := r.Quantile(0.5); ok {
+		t.Fatal("empty reservoir reported a quantile")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Observe(float64(i))
+	}
+	if v, ok := r.Quantile(0.95); !ok || v < 94 || v > 97 {
+		t.Fatalf("p95 of 1..100 = %g, want ~95", v)
+	}
+	if v, _ := r.Quantile(0); v != 1 {
+		t.Fatalf("p0 = %g, want 1", v)
+	}
+	if v, _ := r.Quantile(1); v != 100 {
+		t.Fatalf("p100 = %g, want 100", v)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestReservoirSamplesBeyondCapacity(t *testing.T) {
+	r := NewReservoir(64, 7)
+	// A stream where the true median is 500: the retained uniform
+	// sample's median must land in the right neighborhood.
+	for i := 0; i < 10000; i++ {
+		r.Observe(float64(i % 1000))
+	}
+	v, ok := r.Quantile(0.5)
+	if !ok {
+		t.Fatal("no quantile")
+	}
+	if v < 200 || v > 800 {
+		t.Fatalf("sampled median = %g, want within [200, 800] of true 500", v)
+	}
+	if r.Count() != 10000 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestReservoirDeterministicUnderSeed(t *testing.T) {
+	run := func() float64 {
+		r := NewReservoir(32, 42)
+		for i := 0; i < 5000; i++ {
+			r.Observe(float64((i * 37) % 997))
+		}
+		v, _ := r.Quantile(0.9)
+		return v
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different samples: %g vs %g", a, b)
+	}
+}
+
+func TestReservoirIgnoresNonFinite(t *testing.T) {
+	r := NewReservoir(8, 1)
+	r.Observe(math.NaN())
+	r.Observe(math.Inf(1))
+	if _, ok := r.Quantile(0.5); ok {
+		t.Fatal("non-finite samples were retained")
+	}
+}
+
+func TestReservoirConcurrentObserve(t *testing.T) {
+	r := NewReservoir(128, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Observe(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", r.Count())
+	}
+	if _, ok := r.Quantile(0.99); !ok {
+		t.Fatal("no quantile after concurrent observes")
+	}
+}
